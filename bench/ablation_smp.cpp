@@ -1,0 +1,102 @@
+// Ablation: SMP mode (paper §VII future work) vs the per-PE uGNI layer.
+//
+// Three angles: intra-node latency (pointer handoff vs pxshm copies),
+// mailbox memory (node pairs vs PE pairs), and the comm-thread
+// serialization cost under concurrent inter-node traffic.
+#include "apps/microbench/microbench.hpp"
+#include "bench_util.hpp"
+#include "lrts/runtime.hpp"
+#include "lrts/smp_layer.hpp"
+#include "lrts/ugni_layer.hpp"
+
+using namespace ugnirt;
+using namespace ugnirt::apps;
+
+namespace {
+
+converse::MachineOptions base_opts(bool smp, int pes, int ppn) {
+  converse::MachineOptions o;
+  o.pes = pes;
+  o.layer = converse::LayerKind::kUgni;
+  o.smp_mode = smp;
+  o.pes_per_node = ppn;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  // (1) Intra-node ping-pong latency.
+  benchtool::Table intra("ablation_smp_intranode", "msg_bytes");
+  intra.add_column("pxshm_single_us");
+  intra.add_column("smp_pointer_us");
+  for (std::uint64_t size : benchtool::size_sweep(1024, 512 * 1024)) {
+    bench::PingPongOptions pp;
+    pp.payload = static_cast<std::uint32_t>(size);
+    auto pxshm = base_opts(false, 2, 2);
+    auto smp = base_opts(true, 2, 2);
+    intra.add_row(benchtool::size_label(size),
+                  {to_us(bench::charm_pingpong(pxshm, pp)),
+                   to_us(bench::charm_pingpong(smp, pp))});
+  }
+  intra.print();
+  std::printf("Takeaway: zero-copy pointer delivery removes the last memcpy\n"
+              "from the intra-node path — the §VII motivation.\n\n");
+
+  // (2) Mailbox memory for an all-to-all communicating job.
+  benchtool::Table mem("ablation_smp_mailboxes", "pes(x24/node)");
+  mem.add_column("per_PE_pairs_MB");
+  mem.add_column("per_node_pairs_MB");
+  for (int pes : {48, 96, 192}) {
+    auto measure = [&](bool smp) {
+      auto o = base_opts(smp, pes, 24);
+      o.use_pxshm = false;
+      auto m = lrts::make_machine(o);
+      int h = m->register_handler(
+          [&](void* msg) { converse::CmiFree(msg); });
+      for (int pe = 0; pe < pes; ++pe) {
+        m->start(pe, [&, pe, h] {
+          for (int dest = 0; dest < pes; ++dest) {
+            if (dest == pe) continue;
+            void* msg = converse::CmiAlloc(converse::kCmiHeaderBytes + 16);
+            converse::CmiSetHandler(msg, h);
+            converse::CmiSyncSendAndFree(
+                dest, converse::kCmiHeaderBytes + 16, msg);
+          }
+        });
+      }
+      m->run();
+      std::uint64_t bytes =
+          smp ? dynamic_cast<lrts::SmpLayer*>(&m->layer())
+                    ->total_mailbox_bytes()
+              : dynamic_cast<lrts::UgniLayer*>(&m->layer())
+                    ->total_mailbox_bytes();
+      return static_cast<double>(bytes) / (1024.0 * 1024.0);
+    };
+    mem.add_row(std::to_string(pes), {measure(false), measure(true)});
+  }
+  mem.print();
+  std::printf("Takeaway: SMP mode's per-node-pair channels cut mailbox\n"
+              "memory by ~(cores/node)^2 for all-to-all patterns.\n\n");
+
+  // (3) Comm-thread serialization: concurrent inter-node kNeighbor.
+  benchtool::Table ser("ablation_smp_commthread", "msg_bytes");
+  ser.add_column("per_PE_NIC_us");
+  ser.add_column("smp_commthread_us");
+  for (std::uint64_t size : {512ull, 8192ull, 131072ull}) {
+    auto per_pe = base_opts(false, 6, 3);
+    auto smp = base_opts(true, 6, 3);
+    ser.add_row(
+        benchtool::size_label(size),
+        {to_us(bench::charm_kneighbor(per_pe, static_cast<std::uint32_t>(size),
+                                      1, 6)),
+         to_us(bench::charm_kneighbor(smp, static_cast<std::uint32_t>(size),
+                                      1, 6))});
+  }
+  ser.print();
+  std::printf("Takeaway: with 3 workers/node the zero-copy intra-node pairs\n"
+              "dominate and SMP wins; the shared comm thread only becomes\n"
+              "the bottleneck at higher per-node fan-out (it serializes all\n"
+              "of a node's inter-node sends through one actor).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: the SMSG memory-scalability trade-off the paper discusses in
+// §II-B — per-pair mailbox memory grows linearly with connected peers
+// (which is why Cray shrinks the per-message cap as jobs grow, §III-C),
+// versus MSGQ whose memory grows only with node count.
+#include "bench_util.hpp"
+#include "gemini/machine_config.hpp"
+#include "lrts/runtime.hpp"
+#include "lrts/ugni_layer.hpp"
+
+using namespace ugnirt;
+
+namespace {
+
+/// Build a job of `pes` PEs, have PE 0 exchange one message with `peers`
+/// distinct PEs (establishing SMSG channels lazily), and report the
+/// mailbox memory the whole job committed.
+double measured_mailbox_kb(int pes, int peers) {
+  converse::MachineOptions o;
+  o.pes = pes;
+  o.use_pxshm = false;  // force every pair onto SMSG channels
+  o.pes_per_node = 1;
+  auto m = lrts::make_machine(o);
+  int h = m->register_handler([&](void* msg) { converse::CmiFree(msg); });
+  m->start(0, [&, h] {
+    for (int p = 1; p <= peers; ++p) {
+      void* msg = converse::CmiAlloc(converse::kCmiHeaderBytes + 64);
+      converse::CmiSetHandler(msg, h);
+      converse::CmiSyncSendAndFree(p, converse::kCmiHeaderBytes + 64, msg);
+    }
+  });
+  m->run();
+  auto* layer = dynamic_cast<lrts::UgniLayer*>(&m->layer());
+  return static_cast<double>(layer->total_mailbox_bytes()) / 1024.0;
+}
+
+}  // namespace
+
+int main() {
+  gemini::MachineConfig mc;
+
+  // Part 1: per-message SMSG cap shrinking with job size (paper §III-C).
+  benchtool::Table cap("ablation_smsg_cap", "job_pes");
+  cap.add_column("smsg_max_bytes");
+  for (int pes : {24, 512, 1024, 2048, 4096, 15360, 131072}) {
+    cap.add_row(std::to_string(pes),
+                {static_cast<double>(mc.smsg_max_for_job(pes))});
+  }
+  cap.print();
+
+  // Part 2: measured mailbox memory as PE 0's peer set grows.
+  benchtool::Table mem("ablation_smsg_memory", "peers");
+  mem.add_column("measured_smsg_KB");
+  mem.add_column("msgq_model_KB");
+  for (int peers : {4, 16, 64, 256, 1023}) {
+    double smsg_kb = measured_mailbox_kb(1024, peers);
+    // MSGQ-style alternative: one shared queue per connected *node* pair.
+    const double per_pair_kb =
+        mc.smsg_mailbox_credits * (mc.smsg_max_for_job(1024) + 16.0) / 1024.0;
+    double msgq_kb =
+        per_pair_kb * 2.0 * (peers / mc.cores_per_node + 1);
+    mem.add_row(std::to_string(peers), {smsg_kb, msgq_kb});
+  }
+  mem.print();
+  std::printf("Takeaway: SMSG memory grows linearly with connected peers;\n"
+              "an MSGQ-style per-node scheme stays near-flat — the §II-B\n"
+              "trade of memory for small-message latency.\n");
+  return 0;
+}

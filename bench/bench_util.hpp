@@ -1,0 +1,95 @@
+// Shared plumbing for the per-figure/per-table benchmark binaries.
+//
+// Every binary prints a human-readable table shaped like the paper's plot
+// (one row per x-value, one column per curve) and, when UGNIRT_CSV=1,
+// additionally writes `<bench>.csv` next to the working directory.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ugnirt::benchtool {
+
+inline bool csv_enabled() {
+  const char* v = std::getenv("UGNIRT_CSV");
+  return v && v[0] == '1';
+}
+
+/// Column-oriented result table; prints aligned text and optional CSV.
+class Table {
+ public:
+  Table(std::string name, std::string x_label)
+      : name_(std::move(name)), x_label_(std::move(x_label)) {}
+
+  void add_column(std::string label) { columns_.push_back(std::move(label)); }
+
+  void add_row(std::string x, const std::vector<double>& values) {
+    rows_.push_back({std::move(x), values});
+  }
+
+  void print() const {
+    std::printf("== %s ==\n", name_.c_str());
+    std::printf("%-12s", x_label_.c_str());
+    for (const auto& c : columns_) std::printf(" %16s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("%-12s", row.x.c_str());
+      for (double v : row.values) std::printf(" %16.3f", v);
+      std::printf("\n");
+    }
+    std::printf("\n");
+    if (csv_enabled()) write_csv();
+  }
+
+ private:
+  void write_csv() const {
+    std::ofstream out(name_ + ".csv");
+    out << x_label_;
+    for (const auto& c : columns_) out << ',' << c;
+    out << '\n';
+    for (const auto& row : rows_) {
+      out << row.x;
+      for (double v : row.values) out << ',' << v;
+      out << '\n';
+    }
+  }
+
+  struct Row {
+    std::string x;
+    std::vector<double> values;
+  };
+  std::string name_;
+  std::string x_label_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+inline std::string size_label(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluM",
+                  static_cast<unsigned long long>(bytes / (1024 * 1024)));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluK",
+                  static_cast<unsigned long long>(bytes / 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+/// Geometric size sweep [lo, hi], factor 2.
+inline std::vector<std::uint64_t> size_sweep(std::uint64_t lo,
+                                             std::uint64_t hi) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = lo; s <= hi; s *= 2) out.push_back(s);
+  return out;
+}
+
+}  // namespace ugnirt::benchtool

@@ -1,0 +1,34 @@
+// Figure 1: ping-pong one-way latency of pure uGNI, pure MPI, and the
+// MPI-based CHARM++, 32 B .. 64 KiB (paper §I).
+#include "apps/microbench/microbench.hpp"
+#include "bench_util.hpp"
+
+using namespace ugnirt;
+using namespace ugnirt::apps;
+
+int main() {
+  gemini::MachineConfig mc;
+  benchtool::Table table("fig01_pingpong_layers", "msg_bytes");
+  table.add_column("uGNI_us");
+  table.add_column("MPI_us");
+  table.add_column("MPI_CHARM_us");
+
+  converse::MachineOptions mpi_charm;
+  mpi_charm.layer = converse::LayerKind::kMpi;
+  mpi_charm.pes_per_node = 1;
+
+  for (std::uint64_t size : benchtool::size_sweep(32, 64 * 1024)) {
+    SimTime ugni = bench::pure_ugni_pingpong(mc, static_cast<std::uint32_t>(size));
+    SimTime mpi = bench::pure_mpi_pingpong(mc, static_cast<std::uint32_t>(size),
+                                           /*same_buffer=*/true);
+    bench::PingPongOptions pp;
+    pp.payload = static_cast<std::uint32_t>(size);
+    SimTime charm = bench::charm_pingpong(mpi_charm, pp);
+    table.add_row(benchtool::size_label(size),
+                  {to_us(ugni), to_us(mpi), to_us(charm)});
+  }
+  table.print();
+  std::printf("Paper shape: MPI adds overhead over uGNI; MPI-based CHARM++ "
+              "is slowest at every size.\n");
+  return 0;
+}

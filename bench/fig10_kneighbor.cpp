@@ -1,0 +1,34 @@
+// Figure 10: kNeighbor — 3 cores on 3 nodes, k=1 ring exchange with acks,
+// 32 B .. 1 MiB (paper §V-B).
+#include "apps/microbench/microbench.hpp"
+#include "bench_util.hpp"
+
+using namespace ugnirt;
+using namespace ugnirt::apps;
+
+int main() {
+  benchtool::Table table("fig10_kneighbor", "msg_bytes");
+  table.add_column("uGNI_CHARM_us");
+  table.add_column("MPI_CHARM_us");
+
+  auto run = [](converse::LayerKind layer, std::uint64_t size) {
+    converse::MachineOptions o;
+    o.layer = layer;
+    o.pes = 3;
+    o.pes_per_node = 1;  // 3 cores on 3 different nodes (paper setup)
+    return apps::bench::charm_kneighbor(o, static_cast<std::uint32_t>(size),
+                                        /*k=*/1, /*iters=*/8);
+  };
+
+  for (std::uint64_t size : benchtool::size_sweep(32, 1024 * 1024)) {
+    table.add_row(benchtool::size_label(size),
+                  {to_us(run(converse::LayerKind::kUgni, size)),
+                   to_us(run(converse::LayerKind::kMpi, size))});
+  }
+  table.print();
+  std::printf("Paper shape: MPI-based CHARM++ needs about twice the time of\n"
+              "the uGNI layer even at 1 MiB — the blocking MPI_Recv in the\n"
+              "progress engine serializes concurrent receives, while the\n"
+              "BTE keeps transferring under the uGNI layer.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 11: strong-scaling speedup of 17-Queens on the uGNI-based
+// (threshold 7) and MPI-based (threshold 6, its best) CHARM++ (paper §V-C).
+#include "bench_util.hpp"
+#include "nqueens_bench_util.hpp"
+
+using namespace ugnirt;
+using namespace ugnirt::apps::nqueens;
+
+int main() {
+  benchtool::NqModels models;
+  benchtool::Table table("fig11_nqueens_scaling", "cores");
+  table.add_column("uGNI_speedup");
+  table.add_column("MPI_speedup");
+  table.add_column("uGNI_time_s");
+  table.add_column("MPI_time_s");
+
+  const int n = 17;
+  auto run = [&](converse::LayerKind layer, int cores, int threshold) {
+    converse::MachineOptions o;
+    o.pes = cores;
+    o.layer = layer;
+    NQueensConfig cfg;
+    cfg.n = n;
+    cfg.threshold = threshold;
+    cfg.model = models.get(n, threshold);
+    return run_nqueens(o, cfg);
+  };
+
+  for (int cores : {32, 64, 128, 256, 512, 1024, 2048, 3840}) {
+    NQueensResult ug = run(converse::LayerKind::kUgni, cores,
+                           benchtool::nq_threshold(n));
+    NQueensResult mp = run(converse::LayerKind::kMpi, cores,
+                           benchtool::nq_threshold(n) - 1);
+    table.add_row(std::to_string(cores),
+                  {ug.speedup, mp.speedup, to_s(ug.elapsed), to_s(mp.elapsed)});
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf("Paper shape: uGNI keeps scaling almost perfectly to 3840\n"
+              "cores with threshold 7; MPI stops scaling around 384 cores.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 12: time profiles (useful compute / runtime overhead / idle) of
+// 17-Queens on 384 cores in three configurations (paper §V-C):
+//   (a) MPI-based CHARM++, threshold 6
+//   (b) MPI-based CHARM++, threshold 7 (worse: communication overhead)
+//   (c) uGNI-based CHARM++, threshold 7 (best: fine grains stay cheap)
+//
+// The paper shows Projections screenshots; this prints per-run aggregates
+// and always writes the full per-interval profile as CSV
+// (fig12_<case>.csv: time_ms, app_pct, overhead_pct, idle_pct).
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "nqueens_bench_util.hpp"
+#include "trace/tracer.hpp"
+
+using namespace ugnirt;
+using namespace ugnirt::apps::nqueens;
+
+int main() {
+  benchtool::NqModels models;
+  benchtool::Table table("fig12_nqueens_profile", "case");
+  table.add_column("time_s");
+  table.add_column("useful_pct");
+  table.add_column("overhead_pct");
+  table.add_column("idle_pct");
+
+  struct Case {
+    const char* name;
+    converse::LayerKind layer;
+    int threshold;
+  };
+  // "thr6"/"thr7" are the paper's ParSSSE thresholds; our equivalent
+  // expansion depths generating the same task-count magnitudes are 4 and 5
+  // (see nqueens_bench_util.hpp).
+  const int fine = benchtool::nq_threshold(17);
+  const Case cases[] = {
+      {"MPI_thr6", converse::LayerKind::kMpi, fine - 1},
+      {"MPI_thr7", converse::LayerKind::kMpi, fine},
+      {"uGNI_thr7", converse::LayerKind::kUgni, fine},
+  };
+
+  for (const Case& c : cases) {
+    converse::MachineOptions o;
+    o.pes = 384;
+    o.layer = c.layer;
+    NQueensConfig cfg;
+    cfg.n = 17;
+    cfg.threshold = c.threshold;
+    cfg.model = models.get(17, c.threshold);
+    trace::Tracer tracer(/*bin=*/500'000);  // 0.5 ms intervals
+    NQueensResult r = run_nqueens(o, cfg, &tracer);
+    table.add_row(c.name, {to_s(r.elapsed), tracer.total_app_pct(),
+                           tracer.total_overhead_pct(),
+                           tracer.total_idle_pct()});
+    std::ofstream csv(std::string("fig12_") + c.name + ".csv");
+    tracer.write_csv(csv);
+    std::printf("  [%s] tasks=%llu solutions=%llu -> fig12_%s.csv\n", c.name,
+                static_cast<unsigned long long>(r.tasks),
+                static_cast<unsigned long long>(r.solutions), c.name);
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf("Paper shape: MPI/thr6 shows an idle tail (load imbalance);\n"
+              "MPI/thr7 trades idle for heavy black overhead; uGNI/thr7\n"
+              "keeps overhead small AND the tail short.\n");
+  return 0;
+}

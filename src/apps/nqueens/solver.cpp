@@ -1,0 +1,58 @@
+#include "apps/nqueens/solver.hpp"
+
+#include <cassert>
+
+namespace ugnirt::apps::nqueens {
+
+namespace {
+
+struct Counter {
+  std::uint64_t solutions = 0;
+  std::uint64_t nodes = 0;
+};
+
+void descend(std::uint32_t all, int rows_left, std::uint32_t cols,
+             std::uint32_t diag_l, std::uint32_t diag_r, Counter& c) {
+  ++c.nodes;
+  if (rows_left == 0) {
+    ++c.solutions;
+    return;
+  }
+  std::uint32_t free = all & ~(cols | diag_l | diag_r);
+  while (free) {
+    std::uint32_t bit = free & (0u - free);  // lowest set bit
+    free ^= bit;
+    descend(all, rows_left - 1, cols | bit, ((diag_l | bit) << 1) & all,
+            (diag_r | bit) >> 1, c);
+  }
+}
+
+}  // namespace
+
+SolveResult solve(int n, int row, std::uint32_t cols, std::uint32_t diag_l,
+                  std::uint32_t diag_r) {
+  assert(n >= 1 && n < 32);
+  assert(row >= 0 && row <= n);
+  const std::uint32_t all = (n == 31) ? 0x7fffffffu : ((1u << n) - 1);
+  Counter c;
+  descend(all, n - row, cols & all, diag_l & all, diag_r & all, c);
+  SolveResult r;
+  r.solutions = c.solutions;
+  r.nodes = c.nodes;  // descend() calls == visited placements (root incl.)
+  return r;
+}
+
+SolveResult solve_all(int n) { return solve(n, 0, 0, 0, 0); }
+
+std::uint64_t known_solutions(int n) {
+  // OEIS A000170.
+  static constexpr std::uint64_t kCounts[] = {
+      0,          1,         0,        0,       2,       10,
+      4,          40,        92,       352,     724,     2680,
+      14200,      73712,     365596,   2279184, 14772512, 95815104,
+      666090624};
+  assert(n >= 1 && n <= 18);
+  return kCounts[n];
+}
+
+}  // namespace ugnirt::apps::nqueens

@@ -1,0 +1,115 @@
+#include "apps/nqueens/subtree_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ugnirt::apps::nqueens {
+
+namespace {
+
+struct Prefix {
+  std::uint32_t cols, diag_l, diag_r;
+};
+
+/// Enumerate all valid placements of the first `depth` rows.
+void enumerate(std::uint32_t all, int depth, std::uint32_t cols,
+               std::uint32_t diag_l, std::uint32_t diag_r,
+               std::vector<Prefix>& out) {
+  if (depth == 0) {
+    out.push_back(Prefix{cols, diag_l, diag_r});
+    return;
+  }
+  std::uint32_t free = all & ~(cols | diag_l | diag_r);
+  while (free) {
+    std::uint32_t bit = free & (0u - free);
+    free ^= bit;
+    enumerate(all, depth - 1, cols | bit, ((diag_l | bit) << 1) & all,
+              (diag_r | bit) >> 1, out);
+  }
+}
+
+/// SplitMix-style avalanche for prefix hashing.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t prefix_key(int row, std::uint32_t cols, std::uint32_t diag_l,
+                         std::uint32_t diag_r) {
+  std::uint64_t k = static_cast<std::uint64_t>(row);
+  k = mix(k ^ (static_cast<std::uint64_t>(cols) << 8));
+  k = mix(k ^ (static_cast<std::uint64_t>(diag_l) << 16));
+  k = mix(k ^ (static_cast<std::uint64_t>(diag_r) << 24));
+  return k;
+}
+
+std::unique_ptr<SampledModel> SampledModel::build(int n, int threshold,
+                                                  int samples,
+                                                  std::uint64_t seed) {
+  assert(n >= 1 && n < 32 && threshold >= 1 && threshold < n);
+  auto model = std::make_unique<SampledModel>();
+  model->n_ = n;
+  model->threshold_ = threshold;
+
+  const std::uint32_t all = (1u << n) - 1;
+  std::vector<Prefix> prefixes;
+  enumerate(all, threshold, 0, 0, 0, prefixes);
+  model->prefix_count_ = prefixes.size();
+  if (prefixes.empty()) return model;
+
+  // Deterministic sample without replacement (partial Fisher–Yates).
+  Rng rng(seed ^ (static_cast<std::uint64_t>(n) << 8) ^
+          static_cast<std::uint64_t>(threshold));
+  std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(samples),
+                                        prefixes.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + rng.next_below(static_cast<std::uint32_t>(
+                            prefixes.size() - i));
+    std::swap(prefixes[i], prefixes[j]);
+  }
+
+  long double node_sum = 0, sol_sum = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Prefix& p = prefixes[i];
+    SolveResult r = solve(n, threshold, p.cols, p.diag_l, p.diag_r);
+    model->sampled_.emplace_back(
+        prefix_key(threshold, p.cols, p.diag_l, p.diag_r), r);
+    model->empirical_.push_back(r);
+    node_sum += static_cast<long double>(r.nodes);
+    sol_sum += static_cast<long double>(r.solutions);
+  }
+  std::sort(model->sampled_.begin(), model->sampled_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(model->empirical_.begin(), model->empirical_.end(),
+            [](const SolveResult& a, const SolveResult& b) {
+              return a.nodes < b.nodes;
+            });
+  model->est_nodes_ = static_cast<std::uint64_t>(
+      node_sum / static_cast<long double>(k) *
+      static_cast<long double>(prefixes.size()));
+  model->est_solutions_ = static_cast<std::uint64_t>(
+      sol_sum / static_cast<long double>(k) *
+      static_cast<long double>(prefixes.size()));
+  return model;
+}
+
+SolveResult SampledModel::subtree(int n, int row, std::uint32_t cols,
+                                  std::uint32_t diag_l,
+                                  std::uint32_t diag_r) const {
+  assert(n == n_ && row == threshold_ &&
+         "sampled model built for a different (n, threshold)");
+  std::uint64_t key = prefix_key(row, cols, diag_l, diag_r);
+  auto it = std::lower_bound(
+      sampled_.begin(), sampled_.end(), key,
+      [](const auto& a, std::uint64_t k) { return a.first < k; });
+  if (it != sampled_.end() && it->first == key) return it->second;
+  // Unsampled: deterministic draw from the empirical distribution.
+  assert(!empirical_.empty());
+  std::uint64_t draw = mix(key ^ 0x9e3779b97f4a7c15ULL);
+  return empirical_[static_cast<std::size_t>(draw % empirical_.size())];
+}
+
+}  // namespace ugnirt::apps::nqueens

@@ -1,0 +1,84 @@
+// Subtree cost models for the parallel N-Queens search.
+//
+// Below the parallelization threshold each task solves its subtree
+// sequentially.  For board sizes whose full enumeration is too slow for
+// this container (N >= 16; 19-Queens visits ~10^10 nodes), a *sampled*
+// model solves a deterministic sample of threshold-depth subtrees exactly
+// and assigns every unsampled subtree a draw from the resulting empirical
+// distribution, keyed by a hash of the prefix.  This preserves the two
+// properties the scaling experiment depends on: total work magnitude and
+// the heavy-tailed per-task cost distribution that causes the end-of-run
+// load imbalance in the paper's Figure 12.  Set UGNIRT_NQ_FULL=1 to force
+// exact solving everywhere (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/nqueens/solver.hpp"
+#include "util/rng.hpp"
+
+namespace ugnirt::apps::nqueens {
+
+class SubtreeCostModel {
+ public:
+  virtual ~SubtreeCostModel() = default;
+
+  /// Work (nodes) and solutions for the subtree under the given prefix.
+  virtual SolveResult subtree(int n, int row, std::uint32_t cols,
+                              std::uint32_t diag_l,
+                              std::uint32_t diag_r) const = 0;
+
+  /// True when subtree() returns exact values (totals will verify against
+  /// known_solutions()).
+  virtual bool exact() const = 0;
+};
+
+/// Solves every subtree for real.
+class ExactModel final : public SubtreeCostModel {
+ public:
+  SolveResult subtree(int n, int row, std::uint32_t cols,
+                      std::uint32_t diag_l,
+                      std::uint32_t diag_r) const override {
+    return solve(n, row, cols, diag_l, diag_r);
+  }
+  bool exact() const override { return true; }
+};
+
+/// Deterministic sampling model (see file comment).
+class SampledModel final : public SubtreeCostModel {
+ public:
+  /// Enumerate all prefixes of depth `threshold`, exactly solve a sample of
+  /// `samples` of them, and fit the empirical distribution.
+  static std::unique_ptr<SampledModel> build(int n, int threshold,
+                                             int samples,
+                                             std::uint64_t seed = 0xA11CE);
+
+  SolveResult subtree(int n, int row, std::uint32_t cols,
+                      std::uint32_t diag_l,
+                      std::uint32_t diag_r) const override;
+  bool exact() const override { return false; }
+
+  std::uint64_t prefix_count() const { return prefix_count_; }
+  /// Estimated totals for the whole board (sample mean * prefix count).
+  std::uint64_t est_total_nodes() const { return est_nodes_; }
+  std::uint64_t est_total_solutions() const { return est_solutions_; }
+
+ private:
+  int n_ = 0;
+  int threshold_ = 0;
+  std::uint64_t prefix_count_ = 0;
+  std::uint64_t est_nodes_ = 0;
+  std::uint64_t est_solutions_ = 0;
+  // Exact results for sampled prefixes, keyed by packed prefix state.
+  std::vector<std::pair<std::uint64_t, SolveResult>> sampled_;
+  // Empirical distribution (sorted by nodes) used for unsampled prefixes.
+  std::vector<SolveResult> empirical_;
+};
+
+/// Packed key for a prefix state (n, row, masks).
+std::uint64_t prefix_key(int row, std::uint32_t cols, std::uint32_t diag_l,
+                         std::uint32_t diag_r);
+
+}  // namespace ugnirt::apps::nqueens

@@ -1,0 +1,79 @@
+// Higher-order collectives over the Charm layer: barriers, gathers and
+// section multicasts.
+//
+// Converse implementations share these "common implementations such as
+// collective operations" across machine layers (paper §III-B) — they are
+// built purely on handlers and the spanning tree, so they run unchanged on
+// the uGNI, MPI and SMP layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "charm/charm.hpp"
+
+namespace ugnirt::charm {
+
+class Collectives {
+ public:
+  explicit Collectives(Charm& charm);
+  Collectives(const Collectives&) = delete;
+  Collectives& operator=(const Collectives&) = delete;
+
+  // ---- barrier ----
+
+  /// Register a barrier; every PE must call `arrive` once per round.  The
+  /// callback runs on every PE when the round completes (release wave).
+  int register_barrier(std::function<void()> on_release);
+  void arrive(int barrier_id);
+
+  // ---- gather ----
+
+  /// Register a gather to PE 0: each PE contributes an opaque blob per
+  /// round; the root callback receives them indexed by PE.
+  int register_gather(
+      std::function<void(const std::vector<std::vector<std::uint8_t>>&)>
+          at_root);
+  void contribute_blob(int gather_id, const void* bytes, std::uint32_t len);
+
+  // ---- section multicast ----
+
+  /// Create a section over an explicit PE list.  Delivery uses a spanning
+  /// tree *within the section* (fanout 4), not point-to-point sends from
+  /// the root.
+  int create_section(std::vector<int> pes);
+
+  /// Multicast a payload to every PE of the section; `handler` runs on
+  /// each member.  Must be registered before machine().run().
+  int register_section_handler(
+      std::function<void(const void* payload, std::uint32_t len)> fn);
+  void multicast(int section_id, int handler_id, const void* payload,
+                 std::uint32_t len);
+
+ private:
+  struct Barrier {
+    std::function<void()> on_release;
+    int reduction_id = -1;
+  };
+  struct Gather {
+    std::function<void(const std::vector<std::vector<std::uint8_t>>&)> cb;
+    // Root-side assembly for the current round.
+    std::vector<std::vector<std::uint8_t>> blobs;
+    int received = 0;
+  };
+
+  void section_deliver(void* msg);
+
+  Charm* charm_;
+  int barrier_release_handler_ = -1;
+  int gather_handler_ = -1;
+  int section_handler_ = -1;
+  std::vector<Barrier> barriers_;
+  std::vector<Gather> gathers_;
+  std::vector<std::vector<int>> sections_;
+  std::vector<std::function<void(const void*, std::uint32_t)>>
+      section_handlers_;
+};
+
+}  // namespace ugnirt::charm

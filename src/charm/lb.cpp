@@ -1,0 +1,116 @@
+#include "charm/lb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace ugnirt::charm {
+
+std::vector<double> pe_loads(const std::vector<double>& loads,
+                             const std::vector<int>& assignment, int pes) {
+  std::vector<double> out(static_cast<std::size_t>(pes), 0.0);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    out[static_cast<std::size_t>(assignment[i])] += loads[i];
+  }
+  return out;
+}
+
+namespace {
+
+double max_of(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+int count_moves(const std::vector<int>& a, const std::vector<int>& b) {
+  int moves = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++moves;
+  }
+  return moves;
+}
+
+}  // namespace
+
+LbResult greedy_lb(const std::vector<double>& loads,
+                   const std::vector<int>& current, int pes) {
+  assert(loads.size() == current.size());
+  LbResult r;
+  r.max_load_before = max_of(pe_loads(loads, current, pes));
+
+  std::vector<std::size_t> order(loads.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (loads[a] != loads[b]) return loads[a] > loads[b];
+    return a < b;  // deterministic ties
+  });
+
+  // Min-heap of (pe_load, pe).
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (int p = 0; p < pes; ++p) heap.emplace(0.0, p);
+
+  r.assignment.assign(loads.size(), 0);
+  for (std::size_t i : order) {
+    auto [load, pe] = heap.top();
+    heap.pop();
+    r.assignment[i] = pe;
+    heap.emplace(load + loads[i], pe);
+  }
+  r.max_load_after = max_of(pe_loads(loads, r.assignment, pes));
+  r.migrations = count_moves(current, r.assignment);
+  return r;
+}
+
+LbResult refine_lb(const std::vector<double>& loads,
+                   const std::vector<int>& current, int pes,
+                   double tolerance) {
+  assert(loads.size() == current.size());
+  LbResult r;
+  r.assignment = current;
+  std::vector<double> pl = pe_loads(loads, current, pes);
+  r.max_load_before = max_of(pl);
+
+  double total = std::accumulate(pl.begin(), pl.end(), 0.0);
+  double target = pes > 0 ? total / pes * tolerance : 0.0;
+
+  // Objects on each PE, heaviest first.
+  std::vector<std::vector<std::size_t>> objs(static_cast<std::size_t>(pes));
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    objs[static_cast<std::size_t>(current[i])].push_back(i);
+  }
+  for (auto& v : objs) {
+    std::sort(v.begin(), v.end(), [&](std::size_t a, std::size_t b) {
+      if (loads[a] != loads[b]) return loads[a] > loads[b];
+      return a < b;
+    });
+  }
+
+  for (int p = 0; p < pes; ++p) {
+    auto& mine = objs[static_cast<std::size_t>(p)];
+    std::size_t next = 0;
+    while (pl[static_cast<std::size_t>(p)] > target && next < mine.size()) {
+      std::size_t obj = mine[next++];
+      // Lightest-loaded PE that can take it without exceeding the target.
+      int best = -1;
+      double best_load = target;
+      for (int q = 0; q < pes; ++q) {
+        if (q == p) continue;
+        double after = pl[static_cast<std::size_t>(q)] + loads[obj];
+        if (after <= best_load) {
+          best_load = after;
+          best = q;
+        }
+      }
+      if (best < 0) continue;
+      r.assignment[obj] = best;
+      pl[static_cast<std::size_t>(p)] -= loads[obj];
+      pl[static_cast<std::size_t>(best)] += loads[obj];
+    }
+  }
+  r.max_load_after = max_of(pl);
+  r.migrations = count_moves(current, r.assignment);
+  return r;
+}
+
+}  // namespace ugnirt::charm

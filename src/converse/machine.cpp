@@ -1,0 +1,334 @@
+#include "converse/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "trace/tracer.hpp"
+
+namespace ugnirt::converse {
+
+namespace {
+Machine* g_running = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MachineLayer defaults
+// ---------------------------------------------------------------------------
+
+PersistentHandle MachineLayer::create_persistent(sim::Context&, Pe&, int,
+                                                 std::uint32_t) {
+  return PersistentHandle{};  // not supported by this layer
+}
+
+void MachineLayer::send_persistent(sim::Context&, Pe&, PersistentHandle,
+                                   std::uint32_t, void*) {
+  assert(false && "persistent sends need a layer that supports them");
+}
+
+// ---------------------------------------------------------------------------
+// Pe
+// ---------------------------------------------------------------------------
+
+Pe::Pe(Machine& machine, int id, int node)
+    : machine_(&machine),
+      id_(id),
+      node_(node),
+      ctx_(machine.engine(), id),
+      rng_(Rng(machine.options().seed).derive(static_cast<std::uint64_t>(id))) {
+}
+
+void Pe::enqueue(void* msg, SimTime t) {
+  sched_q_.push_back(msg);
+  wake(t);
+}
+
+void Pe::wake(SimTime t) {
+  SimTime when = std::max(t, avail_at_);
+  if (step_scheduled_) {
+    if (when >= scheduled_at_) {
+      // A step is already pending, but it will run *before* this wake's
+      // cause becomes visible — remember the later time so run_step can
+      // re-arm instead of stranding the event.
+      pending_wake_ = std::min(pending_wake_, when);
+      return;
+    }
+    step_event_.cancel();
+  }
+  step_scheduled_ = true;
+  scheduled_at_ = when;
+  step_event_ = machine_->engine().schedule_at(
+      when, [this, when] { run_step(when); });
+}
+
+void Pe::run_step(SimTime t) {
+  step_scheduled_ = false;
+  Machine& m = *machine_;
+  // A wake issued while the previous step was still executing can carry a
+  // stale availability; never start before the PE is actually free.
+  t = std::max(t, avail_at_);
+  ctx_.set_now(t);
+  SimTime app_before = ctx_.app_total();
+
+  Pe* prev_pe = m.current_pe_;
+  m.current_pe_ = this;
+  {
+    sim::ScopedContext guard(ctx_);
+    m.layer_->advance(ctx_, *this);
+    ctx_.charge(m.options().mc.sched_loop_ns);
+    if (!sched_q_.empty()) {
+      void* msg = sched_q_.front();
+      sched_q_.pop_front();
+      m.dispatch(*this, msg);
+      ++msgs_executed_;
+      ++m.stats_.msgs_executed;
+    }
+  }
+  m.current_pe_ = prev_pe;
+  ++m.stats_.steps;
+
+  avail_at_ = ctx_.now();
+  if (trace::Tracer* tr = m.tracer()) {
+    SimTime app_delta = ctx_.app_total() - app_before;
+    SimTime total = avail_at_ - t;
+    // Attribute the app portion at the end of the step (handlers run after
+    // the progress engine), overhead before it.
+    tr->record(id_, t, avail_at_ - app_delta, trace::SpanKind::kOverhead);
+    tr->record(id_, avail_at_ - app_delta, avail_at_, trace::SpanKind::kApp);
+    (void)total;
+  }
+
+  if (!sched_q_.empty()) {
+    wake(avail_at_);
+  } else if (m.layer_->has_backlog(*this)) {
+    // Backlogged sends with no local work: retry on a small backoff so a
+    // full remote queue doesn't turn into a dense busy-wait of steps.
+    wake(avail_at_ + 500);
+  }
+  if (pending_wake_ != kNever) {
+    SimTime w = pending_wake_;
+    pending_wake_ = kNever;
+    wake(w);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(MachineOptions options, std::unique_ptr<MachineLayer> layer)
+    : options_(options), layer_(std::move(layer)) {
+  assert(options_.pes >= 1);
+  network_ = std::make_unique<gemini::Network>(
+      engine_, topo::Torus3D::for_nodes(options_.nodes()), options_.mc);
+  qd_created_.assign(static_cast<std::size_t>(options_.pes), 0);
+  qd_processed_.assign(static_cast<std::size_t>(options_.pes), 0);
+  pes_.reserve(static_cast<std::size_t>(options_.pes));
+  for (int i = 0; i < options_.pes; ++i) {
+    pes_.push_back(std::make_unique<Pe>(*this, i, node_of_pe(i)));
+  }
+  // Layer init runs inside each PE's context so setup costs are charged.
+  for (auto& pe : pes_) {
+    current_pe_ = pe.get();
+    sim::ScopedContext guard(pe->ctx());
+    layer_->init_pe(*pe);
+    pe->avail_at_ = pe->ctx().now();
+  }
+  current_pe_ = nullptr;
+}
+
+Machine::~Machine() {
+  if (g_running == this) g_running = nullptr;
+}
+
+int Machine::register_handler(CmiHandler fn) {
+  handlers_.push_back(std::move(fn));
+  return static_cast<int>(handlers_.size()) - 1;
+}
+
+Machine* Machine::running() { return g_running; }
+
+Pe& Machine::current_pe() {
+  assert(current_pe_ && "no PE is executing");
+  return *current_pe_;
+}
+
+void Machine::tree_children(int pe, std::vector<int>& out) const {
+  out.clear();
+  for (int k = 1; k <= kTreeFanout; ++k) {
+    int child = pe * kTreeFanout + k;
+    if (child < options_.pes) out.push_back(child);
+  }
+}
+
+void* Machine::alloc_msg(std::uint32_t total) {
+  assert(total >= kCmiHeaderBytes);
+  Pe& pe = current_pe();
+  void* msg = layer_->alloc(pe.ctx(), pe, total);
+  CmiMsgHeader* h = header_of(msg);
+  *h = CmiMsgHeader{};
+  h->size = total;
+  h->alloc_pe = pe.id();
+  return msg;
+}
+
+void Machine::free_msg(void* msg) {
+  Pe& pe = current_pe();
+  layer_->free_msg(pe.ctx(), pe, msg);
+}
+
+void Machine::send(int dest_pe, void* msg) {
+  assert(dest_pe >= 0 && dest_pe < options_.pes);
+  Pe& src = current_pe();
+  CmiMsgHeader* h = header_of(msg);
+  h->src_pe = src.id();
+  if (!(h->flags & kMsgFlagSystem)) {
+    ++qd_created_[static_cast<std::size_t>(src.id())];
+  }
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += h->size;
+  src.ctx().charge(options_.mc.charm_send_overhead_ns);
+  if (dest_pe == src.id()) {
+    // Local short-circuit: straight into our own scheduler queue.
+    src.enqueue(msg, src.ctx().now());
+    return;
+  }
+  layer_->sync_send(src.ctx(), src, dest_pe, h->size, msg);
+}
+
+void Machine::broadcast(void* msg) {
+  Pe& src = current_pe();
+  CmiMsgHeader* h = header_of(msg);
+  h->flags |= kMsgFlagBcast;
+  h->bcast_root = static_cast<std::uint32_t>(src.id());
+  h->src_pe = src.id();
+  // The root participates like any tree node: forward to children, then
+  // deliver the local copy through the scheduler.
+  forward_broadcast(src, msg);
+  if (!(h->flags & kMsgFlagSystem)) {
+    ++qd_created_[static_cast<std::size_t>(src.id())];
+  }
+  ++stats_.msgs_sent;
+  src.enqueue(msg, src.ctx().now());
+}
+
+void Machine::forward_broadcast(Pe& pe, void* msg) {
+  CmiMsgHeader* h = header_of(msg);
+  const int root = static_cast<int>(h->bcast_root);
+  const int pes = options_.pes;
+  // Virtual rank so the tree is rooted at the broadcast origin.
+  const int vrank = (pe.id() - root + pes) % pes;
+  for (int k = 1; k <= kTreeFanout; ++k) {
+    int vchild = vrank * kTreeFanout + k;
+    if (vchild >= pes) break;
+    int child = (vchild + root) % pes;
+    void* copy = layer_->alloc(pe.ctx(), pe, h->size);
+    pe.ctx().charge(options_.mc.memcpy_cost(h->size));
+    std::memcpy(copy, msg, h->size);
+    CmiMsgHeader* ch = header_of(copy);
+    ch->alloc_pe = pe.id();
+    ch->flags &= static_cast<std::uint16_t>(~kMsgFlagNoFree);
+    send(child, copy);
+  }
+}
+
+void Machine::dispatch(Pe& pe, void* msg) {
+  CmiMsgHeader* h = header_of(msg);
+  if ((h->flags & kMsgFlagBcast) &&
+      static_cast<int>(h->bcast_root) != pe.id()) {
+    forward_broadcast(pe, msg);
+  }
+  if (!(h->flags & kMsgFlagSystem)) {
+    ++qd_processed_[static_cast<std::size_t>(pe.id())];
+  }
+  pe.ctx().charge(options_.mc.charm_recv_overhead_ns);
+  assert(h->handler < handlers_.size());
+  handlers_[h->handler](msg);
+}
+
+PersistentHandle Machine::create_persistent(int dest_pe,
+                                            std::uint32_t max_bytes) {
+  Pe& src = current_pe();
+  return layer_->create_persistent(src.ctx(), src, dest_pe, max_bytes);
+}
+
+void Machine::send_persistent(PersistentHandle handle, void* msg) {
+  Pe& src = current_pe();
+  CmiMsgHeader* h = header_of(msg);
+  h->src_pe = src.id();
+  if (!(h->flags & kMsgFlagSystem)) {
+    ++qd_created_[static_cast<std::size_t>(src.id())];
+  }
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += h->size;
+  src.ctx().charge(options_.mc.charm_send_overhead_ns);
+  layer_->send_persistent(src.ctx(), src, handle, h->size, msg);
+}
+
+void Machine::start(int pe_id, std::function<void()> fn) {
+  Pe& pe = *pes_[static_cast<std::size_t>(pe_id)];
+  engine_.schedule_at(0, [this, &pe, fn = std::move(fn)] {
+    pe.ctx().set_now(std::max(engine_.now(), pe.avail_at_));
+    Pe* prev = current_pe_;
+    current_pe_ = &pe;
+    {
+      sim::ScopedContext guard(pe.ctx());
+      fn();
+    }
+    current_pe_ = prev;
+    pe.avail_at_ = pe.ctx().now();
+    pe.wake(pe.avail_at_);
+  });
+}
+
+SimTime Machine::run() {
+  Machine* prev = g_running;
+  g_running = this;
+  engine_.run();
+  g_running = prev;
+  return engine_.now();
+}
+
+// ---------------------------------------------------------------------------
+// Converse-style free functions
+// ---------------------------------------------------------------------------
+
+int CmiMyPe() { return Machine::running()->current_pe().id(); }
+
+int CmiNumPes() { return Machine::running()->num_pes(); }
+
+double CmiWallTimer() {
+  return to_s(Machine::running()->current_pe().ctx().now());
+}
+
+void* CmiAlloc(std::uint32_t total_bytes) {
+  return Machine::running()->alloc_msg(total_bytes);
+}
+
+void CmiFree(void* msg) {
+  CmiMsgHeader* h = header_of(msg);
+  if (h->flags & kMsgFlagNoFree) return;  // runtime-owned (persistent buffer)
+  Machine::running()->free_msg(msg);
+}
+
+void CmiSetHandler(void* msg, int handler_idx) {
+  header_of(msg)->handler = static_cast<std::uint16_t>(handler_idx);
+}
+
+void CmiSyncSendAndFree(int dest_pe, std::uint32_t total_bytes, void* msg) {
+  assert(header_of(msg)->size == total_bytes);
+  (void)total_bytes;
+  Machine::running()->send(dest_pe, msg);
+}
+
+void CmiSyncBroadcastAllAndFree(std::uint32_t total_bytes, void* msg) {
+  assert(header_of(msg)->size == total_bytes);
+  (void)total_bytes;
+  Machine::running()->broadcast(msg);
+}
+
+void CmiChargeWork(SimTime ns) {
+  Machine::running()->current_pe().ctx().charge_app(ns);
+}
+
+}  // namespace ugnirt::converse

@@ -1,0 +1,294 @@
+// The Converse runtime: message-driven scheduler over an LRTS machine layer.
+//
+// Mirrors the paper's Figure 3 layering: applications sit on CHARM++-style
+// abstractions, which sit on this machine-independent Converse layer, which
+// talks to the hardware exclusively through the Lower-level RunTime System
+// (LRTS) interface (§III-B) — implemented here by two interchangeable
+// machine layers (uGNI-based and MPI-based) exactly as in the paper's
+// evaluation ("linked with either MPI- or uGNI-based message-driven runtime
+// for comparison").
+//
+// Each simulated PE runs the classic CHARM++ scheduler loop: advance the
+// network progress engine, then execute one message handler to completion.
+// Virtual time flows through sim::Context cursors (handlers charge their
+// modeled compute; the layers charge communication costs).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gemini/machine_config.hpp"
+#include "gemini/network.hpp"
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "converse/message.hpp"
+#include "util/rng.hpp"
+
+namespace ugnirt::trace {
+class Tracer;
+}
+
+namespace ugnirt::converse {
+
+class Machine;
+class MachineLayer;
+class Pe;
+
+/// Which LRTS implementation a Machine runs on.
+enum class LayerKind {
+  kUgni,  // the paper's contribution: direct uGNI machine layer
+  kMpi,   // the baseline: Converse over (simulated Cray) MPI
+};
+
+/// Handle returned by the persistent-message API (paper §IV-A).
+struct PersistentHandle {
+  std::int32_t id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+struct MachineOptions {
+  int pes = 2;
+  LayerKind layer = LayerKind::kUgni;
+  gemini::MachineConfig mc{};
+
+  // uGNI-layer optimizations (paper §IV); each can be toggled for the
+  // before/after experiments of Figures 6 and 8.
+  bool use_mempool = true;
+  bool use_pxshm = true;          // intra-node POSIX-shm transport
+  bool pxshm_single_copy = true;  // sender-side single copy optimization
+
+  /// Route small messages through the per-NIC shared MSGQ instead of
+  /// per-pair SMSG mailboxes: memory stays flat in the peer count at the
+  /// price of per-message latency (the §II-B trade; see ablation bench).
+  bool use_msgq = false;
+
+  /// SMP mode (paper §VII): one NIC + communication thread per node,
+  /// worker PEs share the node address space (zero-copy intra-node
+  /// pointer messaging, per-node-pair mailboxes).  uGNI layer only.
+  bool smp_mode = false;
+
+  std::uint64_t seed = 0x5eed;
+
+  /// PEs per node; 0 means "use mc.cores_per_node".  Micro-benchmarks that
+  /// place each rank on its own node set this to 1.
+  int pes_per_node = 0;
+
+  int effective_pes_per_node() const {
+    return pes_per_node > 0 ? pes_per_node : mc.cores_per_node;
+  }
+  int nodes() const {
+    int ppn = effective_pes_per_node();
+    return (pes + ppn - 1) / ppn;
+  }
+};
+
+/// Base class for per-PE machine-layer state.
+class LayerPeState {
+ public:
+  virtual ~LayerPeState() = default;
+};
+
+/// One simulated processing element.
+class Pe {
+ public:
+  Pe(Machine& machine, int id, int node);
+
+  int id() const { return id_; }
+  int node() const { return node_; }
+  Machine& machine() const { return *machine_; }
+  sim::Context& ctx() { return ctx_; }
+
+  /// Deliver a ready-to-execute message into the scheduler queue and make
+  /// sure the PE will step at or after `t`.
+  void enqueue(void* msg, SimTime t);
+
+  /// Ensure a scheduler step runs at or after `t` (used by CQ notify hooks
+  /// and backlog retries).
+  void wake(SimTime t);
+
+  std::size_t queue_depth() const { return sched_q_.size(); }
+  Rng& rng() { return rng_; }
+
+  LayerPeState* layer_state() const { return layer_state_.get(); }
+  void set_layer_state(std::unique_ptr<LayerPeState> s) {
+    layer_state_ = std::move(s);
+  }
+
+  // Scheduler statistics.
+  std::uint64_t msgs_executed() const { return msgs_executed_; }
+  SimTime busy_until() const { return avail_at_; }
+
+ private:
+  friend class Machine;
+
+  void run_step(SimTime t);
+
+  Machine* machine_;
+  int id_;
+  int node_;
+  sim::Context ctx_;
+  Rng rng_;
+  std::deque<void*> sched_q_;
+  bool step_scheduled_ = false;
+  SimTime scheduled_at_ = 0;
+  SimTime pending_wake_ = kNever;  // later wake deferred past a scheduled step
+  sim::EventHandle step_event_;
+  SimTime avail_at_ = 0;
+  std::uint64_t msgs_executed_ = 0;
+  std::unique_ptr<LayerPeState> layer_state_;
+};
+
+/// The LRTS interface (paper §III-B), object-flavored.  LrtsInit maps to
+/// the constructor + init_pe; LrtsSyncSend to sync_send; LrtsNetworkEngine
+/// to advance.
+class MachineLayer {
+ public:
+  virtual ~MachineLayer() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Per-PE initialization (attach NIC, create CQs, pools, shm regions).
+  virtual void init_pe(Pe& pe) = 0;
+
+  /// Allocate / release a message buffer on the current PE.
+  virtual void* alloc(sim::Context& ctx, Pe& pe, std::size_t bytes) = 0;
+  virtual void free_msg(sim::Context& ctx, Pe& pe, void* msg) = 0;
+
+  /// LrtsSyncSend: non-blocking; ownership of `msg` passes to the layer
+  /// (it frees the buffer once delivery no longer needs it).
+  virtual void sync_send(sim::Context& ctx, Pe& src, int dest_pe,
+                         std::uint32_t size, void* msg) = 0;
+
+  /// LrtsNetworkEngine: poll completion queues, run protocol state
+  /// machines, deliver arrived messages to the scheduler.
+  virtual void advance(sim::Context& ctx, Pe& pe) = 0;
+
+  /// True when the layer still has deferred work for this PE (credit-
+  /// stalled sends, pending acks) and wants more advance() calls.
+  virtual bool has_backlog(const Pe& pe) const = 0;
+
+  // Persistent-message API (paper §IV-A).  Layers without support return an
+  // invalid handle (callers fall back to plain sends).
+  virtual PersistentHandle create_persistent(sim::Context& ctx, Pe& src,
+                                             int dest_pe,
+                                             std::uint32_t max_bytes);
+  virtual void send_persistent(sim::Context& ctx, Pe& src,
+                               PersistentHandle handle, std::uint32_t size,
+                               void* msg);
+};
+
+/// Handler function; executes on the destination PE with sim::current()
+/// set.  The handler owns `msg` (frees it with CmiFree unless kMsgFlagNoFree).
+using CmiHandler = std::function<void(void* msg)>;
+
+struct MachineStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_executed = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t steps = 0;
+};
+
+class Machine {
+ public:
+  Machine(MachineOptions options, std::unique_ptr<MachineLayer> layer);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ---- topology / identity ----
+  int num_pes() const { return options_.pes; }
+  int node_of_pe(int pe) const { return pe / options_.effective_pes_per_node(); }
+  Pe& pe(int i) { return *pes_[static_cast<std::size_t>(i)]; }
+  const MachineOptions& options() const { return options_; }
+  gemini::Network& network() { return *network_; }
+  sim::Engine& engine() { return engine_; }
+  MachineLayer& layer() { return *layer_; }
+  trace::Tracer* tracer() { return tracer_; }
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
+  // ---- handlers ----
+  int register_handler(CmiHandler fn);
+  const CmiHandler& handler(int idx) const {
+    return handlers_[static_cast<std::size_t>(idx)];
+  }
+
+  // ---- messaging (callable from inside handlers) ----
+  /// Allocate a message of `total` bytes (header included) on the current PE.
+  void* alloc_msg(std::uint32_t total);
+  /// CmiSyncSendAndFree: send `msg` to dest_pe; layer takes ownership.
+  void send(int dest_pe, void* msg);
+  /// CmiSyncBroadcastAllAndFree: deliver to every PE (including sender)
+  /// via a spanning tree.
+  void broadcast(void* msg);
+  void free_msg(void* msg);
+
+  // ---- persistent messages ----
+  PersistentHandle create_persistent(int dest_pe, std::uint32_t max_bytes);
+  void send_persistent(PersistentHandle h, void* msg);
+
+  // ---- bootstrapping / running ----
+  /// Schedule `fn` to run on `pe` at virtual time 0 (before any messages).
+  void start(int pe, std::function<void()> fn);
+  /// Run the simulation until the event queue drains; returns final time.
+  SimTime run();
+  /// Stop the machine (callable from a handler when the app is done).
+  void stop() { engine_.stop(); }
+
+  /// The machine currently executing (valid inside handlers/start fns).
+  static Machine* running();
+  /// The PE currently executing.
+  Pe& current_pe();
+
+  // ---- quiescence detection bookkeeping (used by collectives.cpp) ----
+  std::uint64_t qd_created(int pe) const {
+    return qd_created_[static_cast<std::size_t>(pe)];
+  }
+  std::uint64_t qd_processed(int pe) const {
+    return qd_processed_[static_cast<std::size_t>(pe)];
+  }
+
+  const MachineStats& stats() const { return stats_; }
+
+  /// Spanning-tree helpers shared by broadcast / reductions (k-ary tree).
+  static constexpr int kTreeFanout = 4;
+  int tree_parent(int pe) const { return pe == 0 ? -1 : (pe - 1) / kTreeFanout; }
+  void tree_children(int pe, std::vector<int>& out) const;
+
+ private:
+  friend class Pe;
+
+  void dispatch(Pe& pe, void* msg);
+  void forward_broadcast(Pe& pe, void* msg);
+
+  MachineOptions options_;
+  sim::Engine engine_;
+  std::unique_ptr<gemini::Network> network_;
+  std::unique_ptr<MachineLayer> layer_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  std::vector<CmiHandler> handlers_;
+  std::vector<std::uint64_t> qd_created_;
+  std::vector<std::uint64_t> qd_processed_;
+  MachineStats stats_;
+  trace::Tracer* tracer_ = nullptr;
+  Pe* current_pe_ = nullptr;
+};
+
+// ---- Converse-style free functions (valid inside handlers) ----
+
+int CmiMyPe();
+int CmiNumPes();
+/// Virtual wall time in seconds.
+double CmiWallTimer();
+void* CmiAlloc(std::uint32_t total_bytes);
+void CmiFree(void* msg);
+void CmiSetHandler(void* msg, int handler_idx);
+void CmiSyncSendAndFree(int dest_pe, std::uint32_t total_bytes, void* msg);
+void CmiSyncBroadcastAllAndFree(std::uint32_t total_bytes, void* msg);
+/// Charge modeled application compute to the current PE.
+void CmiChargeWork(SimTime ns);
+
+}  // namespace ugnirt::converse

@@ -1,0 +1,63 @@
+// Converse message envelope.
+//
+// Every message carries a fixed header (the Converse "envelope"): total
+// size, destination handler index, flags, and provenance.  The header
+// travels with the payload through whichever machine layer is active, so a
+// message created with CmiAlloc on one PE can be executed on any other.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace ugnirt::converse {
+
+// Header flag bits.
+constexpr std::uint16_t kMsgFlagSystem = 1u << 0;   // excluded from QD counts
+constexpr std::uint16_t kMsgFlagNoFree = 1u << 1;   // runtime-owned buffer
+                                                    // (persistent channel)
+constexpr std::uint16_t kMsgFlagBcast = 1u << 2;    // spanning-tree forward
+
+struct CmiMsgHeader {
+  std::uint32_t size = 0;       // total bytes, header included
+  std::uint16_t handler = 0;    // registered handler index
+  std::uint16_t flags = 0;
+  std::int32_t src_pe = -1;     // logical sender
+  std::int32_t alloc_pe = -1;   // PE whose allocator owns this buffer
+  std::uint32_t bcast_root = 0; // spanning-tree root for broadcasts
+  std::uint32_t reserved = 0;
+};
+
+static_assert(sizeof(CmiMsgHeader) == 24, "envelope layout is part of ABI");
+
+constexpr std::size_t kCmiHeaderBytes = sizeof(CmiMsgHeader);
+
+inline CmiMsgHeader* header_of(void* msg) {
+  return static_cast<CmiMsgHeader*>(msg);
+}
+inline const CmiMsgHeader* header_of(const void* msg) {
+  return static_cast<const CmiMsgHeader*>(msg);
+}
+
+/// First payload byte (after the envelope).
+inline void* payload_of(void* msg) {
+  return static_cast<std::uint8_t*>(msg) + kCmiHeaderBytes;
+}
+inline const void* payload_of(const void* msg) {
+  return static_cast<const std::uint8_t*>(msg) + kCmiHeaderBytes;
+}
+
+/// Typed payload access: CmiMsgPayload<T>(msg) (T must be trivially
+/// copyable; messages travel by memcpy).
+template <typename T>
+T* msg_payload(void* msg) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return reinterpret_cast<T*>(payload_of(msg));
+}
+
+template <typename T>
+const T* msg_payload(const void* msg) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return reinterpret_cast<const T*>(payload_of(msg));
+}
+
+}  // namespace ugnirt::converse

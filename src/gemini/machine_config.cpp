@@ -1,0 +1,154 @@
+#include "gemini/machine_config.hpp"
+
+#include <string>
+
+namespace ugnirt::gemini {
+
+namespace {
+constexpr const char* kPrefix = "gemini.";
+
+std::string key(const char* name) { return std::string(kPrefix) + name; }
+}  // namespace
+
+MachineConfig MachineConfig::from(const Config& cfg) {
+  MachineConfig m;
+  auto i64 = [&](const char* name, SimTime cur) {
+    return cfg.get_int_or(key(name), cur);
+  };
+  auto i32 = [&](const char* name, std::int64_t cur) {
+    return static_cast<std::uint32_t>(cfg.get_int_or(key(name), cur));
+  };
+  auto f64 = [&](const char* name, double cur) {
+    return cfg.get_double_or(key(name), cur);
+  };
+
+  m.cores_per_node = static_cast<int>(i64("cores_per_node", m.cores_per_node));
+  m.hop_ns = i64("hop_ns", m.hop_ns);
+  m.link_bw = f64("link_bw", m.link_bw);
+
+  m.smsg_cpu_send_ns = i64("smsg_cpu_send_ns", m.smsg_cpu_send_ns);
+  m.smsg_wire_startup_ns = i64("smsg_wire_startup_ns", m.smsg_wire_startup_ns);
+  m.smsg_per_byte_ns = f64("smsg_per_byte_ns", m.smsg_per_byte_ns);
+  m.smsg_cpu_recv_ns = i64("smsg_cpu_recv_ns", m.smsg_cpu_recv_ns);
+  m.smsg_max_bytes = i32("smsg_max_bytes", m.smsg_max_bytes);
+  m.smsg_mailbox_credits = i32("smsg_mailbox_credits", m.smsg_mailbox_credits);
+
+  m.fma_put_startup_ns = i64("fma_put_startup_ns", m.fma_put_startup_ns);
+  m.fma_get_startup_ns = i64("fma_get_startup_ns", m.fma_get_startup_ns);
+  m.fma_bw = f64("fma_bw", m.fma_bw);
+  m.fma_desc_ns = i64("fma_desc_ns", m.fma_desc_ns);
+
+  m.bte_put_startup_ns = i64("bte_put_startup_ns", m.bte_put_startup_ns);
+  m.bte_get_startup_ns = i64("bte_get_startup_ns", m.bte_get_startup_ns);
+  m.bte_bw = f64("bte_bw", m.bte_bw);
+  m.bte_desc_ns = i64("bte_desc_ns", m.bte_desc_ns);
+
+  m.malloc_base_ns = i64("malloc_base_ns", m.malloc_base_ns);
+  m.malloc_per_page_ns = i64("malloc_per_page_ns", m.malloc_per_page_ns);
+  m.free_base_ns = i64("free_base_ns", m.free_base_ns);
+  m.mem_reg_base_ns = i64("mem_reg_base_ns", m.mem_reg_base_ns);
+  m.mem_reg_per_page_ns = i64("mem_reg_per_page_ns", m.mem_reg_per_page_ns);
+  m.mem_dereg_base_ns = i64("mem_dereg_base_ns", m.mem_dereg_base_ns);
+  m.mem_dereg_per_page_ns =
+      i64("mem_dereg_per_page_ns", m.mem_dereg_per_page_ns);
+  m.page_bytes = i32("page_bytes", m.page_bytes);
+
+  m.memcpy_base_ns = i64("memcpy_base_ns", m.memcpy_base_ns);
+  m.memcpy_bw = f64("memcpy_bw", m.memcpy_bw);
+
+  m.cq_poll_ns = i64("cq_poll_ns", m.cq_poll_ns);
+  m.cq_event_ns = i64("cq_event_ns", m.cq_event_ns);
+
+  m.mempool_alloc_ns = i64("mempool_alloc_ns", m.mempool_alloc_ns);
+  m.mempool_free_ns = i64("mempool_free_ns", m.mempool_free_ns);
+  m.mempool_init_bytes = static_cast<std::uint64_t>(
+      i64("mempool_init_bytes", static_cast<SimTime>(m.mempool_init_bytes)));
+
+  m.charm_send_overhead_ns =
+      i64("charm_send_overhead_ns", m.charm_send_overhead_ns);
+  m.charm_recv_overhead_ns =
+      i64("charm_recv_overhead_ns", m.charm_recv_overhead_ns);
+  m.sched_loop_ns = i64("sched_loop_ns", m.sched_loop_ns);
+  m.rdma_threshold = i32("rdma_threshold", m.rdma_threshold);
+
+  m.mpi_call_overhead_ns = i64("mpi_call_overhead_ns", m.mpi_call_overhead_ns);
+  m.mpi_match_ns = i64("mpi_match_ns", m.mpi_match_ns);
+  m.mpi_iprobe_ns = i64("mpi_iprobe_ns", m.mpi_iprobe_ns);
+  m.mpi_iprobe_scan_ns = i64("mpi_iprobe_scan_ns", m.mpi_iprobe_scan_ns);
+  m.mpi_iprobe_conn_ns = i64("mpi_iprobe_conn_ns", m.mpi_iprobe_conn_ns);
+  m.mpi_iprobe_conn_free = i32("mpi_iprobe_conn_free", m.mpi_iprobe_conn_free);
+  m.mpi_eager_threshold = i32("mpi_eager_threshold", m.mpi_eager_threshold);
+  m.mpi_rdma_threshold = i32("mpi_rdma_threshold", m.mpi_rdma_threshold);
+  m.udreg_capacity = i32("udreg_capacity", m.udreg_capacity);
+  m.udreg_hit_ns = i64("udreg_hit_ns", m.udreg_hit_ns);
+  m.mpi_xpmem_threshold = i32("mpi_xpmem_threshold", m.mpi_xpmem_threshold);
+  m.mpi_xpmem_overhead_ns =
+      i64("mpi_xpmem_overhead_ns", m.mpi_xpmem_overhead_ns);
+  m.mpi_shm_notify_ns = i64("mpi_shm_notify_ns", m.mpi_shm_notify_ns);
+
+  m.pxshm_notify_ns = i64("pxshm_notify_ns", m.pxshm_notify_ns);
+  m.pxshm_poll_ns = i64("pxshm_poll_ns", m.pxshm_poll_ns);
+  return m;
+}
+
+void MachineConfig::export_to(Config& cfg) const {
+  auto set_i = [&](const char* name, std::int64_t v) {
+    cfg.set(key(name), std::to_string(v));
+  };
+  auto set_f = [&](const char* name, double v) {
+    cfg.set(key(name), std::to_string(v));
+  };
+  set_i("cores_per_node", cores_per_node);
+  set_i("hop_ns", hop_ns);
+  set_f("link_bw", link_bw);
+  set_i("smsg_cpu_send_ns", smsg_cpu_send_ns);
+  set_i("smsg_wire_startup_ns", smsg_wire_startup_ns);
+  set_f("smsg_per_byte_ns", smsg_per_byte_ns);
+  set_i("smsg_cpu_recv_ns", smsg_cpu_recv_ns);
+  set_i("smsg_max_bytes", smsg_max_bytes);
+  set_i("smsg_mailbox_credits", smsg_mailbox_credits);
+  set_i("fma_put_startup_ns", fma_put_startup_ns);
+  set_i("fma_get_startup_ns", fma_get_startup_ns);
+  set_f("fma_bw", fma_bw);
+  set_i("fma_desc_ns", fma_desc_ns);
+  set_i("bte_put_startup_ns", bte_put_startup_ns);
+  set_i("bte_get_startup_ns", bte_get_startup_ns);
+  set_f("bte_bw", bte_bw);
+  set_i("bte_desc_ns", bte_desc_ns);
+  set_i("malloc_base_ns", malloc_base_ns);
+  set_i("malloc_per_page_ns", malloc_per_page_ns);
+  set_i("free_base_ns", free_base_ns);
+  set_i("mem_reg_base_ns", mem_reg_base_ns);
+  set_i("mem_reg_per_page_ns", mem_reg_per_page_ns);
+  set_i("mem_dereg_base_ns", mem_dereg_base_ns);
+  set_i("mem_dereg_per_page_ns", mem_dereg_per_page_ns);
+  set_i("page_bytes", page_bytes);
+  set_i("memcpy_base_ns", memcpy_base_ns);
+  set_f("memcpy_bw", memcpy_bw);
+  set_i("cq_poll_ns", cq_poll_ns);
+  set_i("cq_event_ns", cq_event_ns);
+  set_i("mempool_alloc_ns", mempool_alloc_ns);
+  set_i("mempool_free_ns", mempool_free_ns);
+  set_i("mempool_init_bytes", static_cast<std::int64_t>(mempool_init_bytes));
+  set_i("charm_send_overhead_ns", charm_send_overhead_ns);
+  set_i("charm_recv_overhead_ns", charm_recv_overhead_ns);
+  set_i("sched_loop_ns", sched_loop_ns);
+  set_i("rdma_threshold", rdma_threshold);
+  set_i("mpi_call_overhead_ns", mpi_call_overhead_ns);
+  set_i("mpi_match_ns", mpi_match_ns);
+  set_i("mpi_iprobe_ns", mpi_iprobe_ns);
+  set_i("mpi_iprobe_scan_ns", mpi_iprobe_scan_ns);
+  set_i("mpi_iprobe_conn_ns", mpi_iprobe_conn_ns);
+  set_i("mpi_iprobe_conn_free", mpi_iprobe_conn_free);
+  set_i("mpi_eager_threshold", mpi_eager_threshold);
+  set_i("mpi_rdma_threshold", mpi_rdma_threshold);
+  set_i("udreg_capacity", udreg_capacity);
+  set_i("udreg_hit_ns", udreg_hit_ns);
+  set_i("mpi_xpmem_threshold", mpi_xpmem_threshold);
+  set_i("mpi_xpmem_overhead_ns", mpi_xpmem_overhead_ns);
+  set_i("mpi_shm_notify_ns", mpi_shm_notify_ns);
+  set_i("pxshm_notify_ns", pxshm_notify_ns);
+  set_i("pxshm_poll_ns", pxshm_poll_ns);
+}
+
+}  // namespace ugnirt::gemini

@@ -1,0 +1,36 @@
+#include "lrts/runtime.hpp"
+
+#include "lrts/mpi_layer.hpp"
+#include "lrts/smp_layer.hpp"
+#include "lrts/ugni_layer.hpp"
+
+namespace ugnirt::lrts {
+
+std::unique_ptr<converse::Machine> make_machine(
+    const converse::MachineOptions& options_in) {
+  converse::MachineOptions options = options_in;
+  // Honor UGNIRT_GEMINI_* environment overrides for every model constant,
+  // so experiments and ablations can retune the machine without rebuilds.
+  {
+    Config cfg;
+    options.mc.export_to(cfg);
+    cfg.apply_env_overrides();
+    options.mc = gemini::MachineConfig::from(cfg);
+  }
+  std::unique_ptr<converse::MachineLayer> layer;
+  switch (options.layer) {
+    case converse::LayerKind::kUgni:
+      if (options.smp_mode) {
+        layer = std::make_unique<SmpLayer>();
+      } else {
+        layer = std::make_unique<UgniLayer>();
+      }
+      break;
+    case converse::LayerKind::kMpi:
+      layer = std::make_unique<MpiLayer>();
+      break;
+  }
+  return std::make_unique<converse::Machine>(options, std::move(layer));
+}
+
+}  // namespace ugnirt::lrts

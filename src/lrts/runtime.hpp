@@ -1,0 +1,18 @@
+// Convenience constructors: a Machine wired to the requested LRTS layer.
+//
+// "All the following benchmark programs and applications are written in
+// CHARM++, but linked with either MPI- or uGNI-based message-driven runtime
+// for comparison" (paper §V) — this factory is that link step.
+#pragma once
+
+#include <memory>
+
+#include "converse/machine.hpp"
+
+namespace ugnirt::lrts {
+
+/// Build a machine running the layer named in `options.layer`.
+std::unique_ptr<converse::Machine> make_machine(
+    const converse::MachineOptions& options);
+
+}  // namespace ugnirt::lrts

@@ -1,0 +1,564 @@
+#include "lrts/smp_layer.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ugnirt::lrts {
+
+using converse::CmiMsgHeader;
+using converse::header_of;
+
+namespace {
+
+// Protocol tags, mirroring the non-SMP layer's rendezvous (paper Fig 5).
+constexpr std::uint8_t kTagData = 1;
+constexpr std::uint8_t kTagInit = 2;
+constexpr std::uint8_t kTagAck = 3;
+
+struct InitCtrl {
+  std::uint64_t send_id = 0;
+  std::uint64_t addr = 0;
+  ugni::gni_mem_handle_t hndl{};
+  std::uint32_t size = 0;
+  std::int32_t dest_pe = -1;  // final worker on the receiving node
+};
+
+struct AckCtrl {
+  std::uint64_t send_id = 0;
+};
+
+/// Worker-side cost of handing a message to the comm thread (lock + queue).
+constexpr SimTime kSmpEnqueueNs = 120;
+/// Comm-thread cost per handled item (dequeue + dispatch).
+constexpr SimTime kSmpDequeueNs = 90;
+/// Worker-to-worker pointer handoff (lock + enqueue into peer scheduler).
+constexpr SimTime kSmpPtrSendNs = 150;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+/// One node: NIC + comm-thread actor + node-shared message pool.
+struct SmpLayer::NodeState {
+  int node = -1;
+  ugni::gni_nic_handle_t nic = nullptr;
+  ugni::gni_cq_handle_t rx_cq = nullptr;
+  ugni::gni_cq_handle_t tx_cq = nullptr;
+  std::unordered_map<int, ugni::gni_ep_handle_t> eps;  // per remote node
+  std::unique_ptr<mempool::MemPool> pool;  // node-shared, pre-registered
+
+  // The communication thread: an actor with its own virtual-time cursor.
+  std::unique_ptr<sim::Context> comm_ctx;
+  bool comm_scheduled = false;
+  SimTime comm_sched_at = 0;
+  SimTime comm_pending_wake = kNever;
+  sim::EventHandle comm_event;
+  SimTime comm_avail = 0;
+
+  // Outgoing messages queued by workers.
+  struct Out {
+    int dest_pe = -1;
+    void* msg = nullptr;
+    std::uint32_t size = 0;
+    SimTime ready = 0;  // when the worker finished enqueueing
+  };
+  std::deque<Out> outq;
+
+  // Credit-stalled control/data messages (per remote-node channel).
+  struct Pending {
+    int dest_node = -1;
+    int dest_pe = -1;
+    std::uint8_t tag = 0;
+    std::vector<std::uint8_t> ctrl;
+    void* msg = nullptr;
+  };
+  std::deque<Pending> backlog;
+
+  // Rendezvous bookkeeping (node-level).
+  struct LargeSend {
+    void* msg = nullptr;
+  };
+  std::unordered_map<std::uint64_t, LargeSend> sends;
+  std::uint64_t next_send_id = 1;
+
+  struct LargeRecv {
+    void* buf = nullptr;
+    std::unique_ptr<ugni::gni_post_descriptor_t> desc;
+    std::uint64_t send_id = 0;
+    std::int32_t src_node = -1;
+    std::int32_t dest_pe = -1;
+  };
+  std::unordered_map<std::uint64_t, LargeRecv> recvs;
+  std::uint64_t next_recv_id = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
+
+SmpLayer::SmpLayer() = default;
+SmpLayer::~SmpLayer() {
+  if (std::getenv("UGNIRT_SMPDBG")) {
+    for (auto& n : nodes_) {
+      if (!n) continue;
+      std::fprintf(stderr,
+                   "node %d: outq=%zu backlog=%zu sends=%zu recvs=%zu\n",
+                   n->node, n->outq.size(), n->backlog.size(),
+                   n->sends.size(), n->recvs.size());
+    }
+  }
+}
+
+void SmpLayer::ensure_domain(converse::Machine& m) {
+  if (domain_) return;
+  machine_ = &m;
+  domain_ = std::make_unique<ugni::Domain>(m.network());
+  smsg_cap_ = m.options().mc.smsg_max_for_job(m.options().nodes());
+  nodes_.resize(static_cast<std::size_t>(m.options().nodes()));
+  for (int n = 0; n < m.options().nodes(); ++n) {
+    auto ns = std::make_unique<NodeState>();
+    ns->node = n;
+    ugni::gni_return_t rc =
+        ugni::GNI_CdmAttach(domain_.get(), n, n, &ns->nic);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    rc = ugni::GNI_CqCreate(ns->nic, 1u << 16, &ns->rx_cq);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    rc = ugni::GNI_CqCreate(ns->nic, 1u << 16, &ns->tx_cq);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    (void)rc;
+    ns->nic->set_smsg_rx_cq(ns->rx_cq);
+    ns->comm_ctx = std::make_unique<sim::Context>(m.engine(), -1000 - n);
+
+    NodeState* np = ns.get();
+    auto wake_hook = [this, np](SimTime t) { comm_wake(*np, t); };
+    ns->rx_cq->set_notify(wake_hook);
+    ns->tx_cq->set_notify(wake_hook);
+    ns->nic->set_credit_notify(wake_hook);
+    nodes_[static_cast<std::size_t>(n)] = std::move(ns);
+  }
+}
+
+void SmpLayer::init_pe(converse::Pe& pe) {
+  ensure_domain(pe.machine());
+  NodeState& n = node_state(pe.node());
+  if (pe.machine().options().use_mempool && !n.pool) {
+    // Node-shared pool: created once per node, charged to the first PE.
+    n.pool = std::make_unique<mempool::MemPool>(
+        n.nic, pe.machine().options().mc.mempool_init_bytes);
+  }
+  pe.set_layer_state(nullptr);
+}
+
+ugni::gni_ep_handle_t SmpLayer::ensure_channel(sim::Context& ctx,
+                                               NodeState& src,
+                                               int dest_node) {
+  auto it = src.eps.find(dest_node);
+  if (it != src.eps.end()) return it->second;
+  NodeState& dst = node_state(dest_node);
+  const auto& mc = machine_->options().mc;
+
+  ugni::gni_smsg_attr_t attr;
+  attr.msg_maxsize = smsg_cap_;
+  attr.mbox_maxcredit = mc.smsg_mailbox_credits;
+
+  ugni::gni_ep_handle_t fwd = nullptr;
+  ugni::gni_return_t rc = ugni::GNI_EpCreate(src.nic, src.tx_cq, &fwd);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  rc = ugni::GNI_EpBind(fwd, dest_node);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  rc = ugni::GNI_SmsgInit(fwd, attr, attr);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  src.eps[dest_node] = fwd;
+  if (!dst.eps.count(src.node)) {
+    ugni::gni_ep_handle_t rev = nullptr;
+    rc = ugni::GNI_EpCreate(dst.nic, dst.tx_cq, &rev);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    rc = ugni::GNI_EpBind(rev, src.node);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    rc = ugni::GNI_SmsgInit(rev, attr, attr);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    dst.eps[src.node] = rev;
+  }
+  (void)rc;
+  ctx.charge(2 * mc.reg_cost(static_cast<std::uint64_t>(
+                                 attr.mbox_maxcredit) *
+                             (attr.msg_maxsize + 16)));
+  return fwd;
+}
+
+std::uint64_t SmpLayer::total_mailbox_bytes() const {
+  return domain_ ? domain_->total_mailbox_bytes() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation: node-shared pool (or modeled malloc)
+// ---------------------------------------------------------------------------
+
+void* SmpLayer::alloc(sim::Context& ctx, converse::Pe& pe,
+                      std::size_t bytes) {
+  NodeState& n = node_state(pe.node());
+  if (n.pool) return n.pool->alloc(bytes);
+  ctx.charge(machine_->options().mc.malloc_cost(bytes));
+  return ::operator new[](bytes, std::align_val_t{16});
+}
+
+void SmpLayer::free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) {
+  NodeState& n = node_state(pe.node());
+  if (n.pool) {
+    if (n.pool->owns(msg)) {
+      n.pool->free(msg);
+      return;
+    }
+    // Allocated on another node's pool (can only happen for messages the
+    // comm thread delivered; those are always node-local) — or on the
+    // alloc_pe's node.
+    int owner = header_of(msg)->alloc_pe;
+    if (owner >= 0) {
+      NodeState& o = node_state(machine_->node_of_pe(owner));
+      if (o.pool && o.pool->owns(msg)) {
+        o.pool->free(msg);
+        return;
+      }
+    }
+    assert(false && "SMP free_msg: unknown buffer owner");
+    return;
+  }
+  ctx.charge(machine_->options().mc.free_base_ns);
+  ::operator delete[](msg, std::align_val_t{16});
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+void SmpLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                         std::uint32_t size, void* msg) {
+  converse::Machine& m = *machine_;
+  NodeState& n = node_state(src.node());
+  (void)size;
+
+  if (std::getenv("UGNIRT_SMPDBG"))
+    std::fprintf(stderr, "SEND dest=%d size=%u t=%lld\n", dest_pe, size,
+                 (long long)ctx.now());
+  if (m.node_of_pe(dest_pe) == src.node()) {
+    // Same address space: hand the pointer straight to the peer worker.
+    ctx.charge(kSmpPtrSendNs);
+    ++stats_.intra_node_ptr_msgs;
+    m.pe(dest_pe).enqueue(msg, ctx.now());
+    return;
+  }
+  // Lock-and-enqueue to the node's comm thread; the worker is done.
+  ctx.charge(kSmpEnqueueNs);
+  n.outq.push_back(NodeState::Out{dest_pe, msg, size, ctx.now()});
+  comm_wake(n, ctx.now());
+}
+
+// ---------------------------------------------------------------------------
+// Comm-thread actor
+// ---------------------------------------------------------------------------
+
+void SmpLayer::comm_wake(NodeState& n, SimTime t) {
+  SimTime when = std::max(t, n.comm_avail);
+  if (n.comm_scheduled) {
+    if (when >= n.comm_sched_at) {
+      // Defer rather than drop: the pending step runs too early to see
+      // this wake's cause (see Pe::wake).
+      n.comm_pending_wake = std::min(n.comm_pending_wake, when);
+      return;
+    }
+    n.comm_event.cancel();
+  }
+  n.comm_scheduled = true;
+  n.comm_sched_at = when;
+  NodeState* np = &n;
+  n.comm_event = machine_->engine().schedule_at(
+      when, [this, np, when] { comm_step(*np, when); });
+}
+
+void SmpLayer::comm_step(NodeState& n, SimTime t) {
+  n.comm_scheduled = false;
+  t = std::max(t, n.comm_avail);
+  sim::Context& ctx = *n.comm_ctx;
+  ctx.set_now(t);
+  sim::ScopedContext guard(ctx);
+
+  // 1. Network arrivals.
+  for (;;) {
+    ugni::gni_cq_entry_t ev;
+    if (ugni::GNI_CqGetEvent(n.rx_cq, &ev) != ugni::GNI_RC_SUCCESS) break;
+    if (ev.type == ugni::CqEventType::kSmsg) {
+      comm_handle_smsg(ctx, n, ev.source_inst);
+    }
+  }
+  for (;;) {
+    ugni::gni_cq_entry_t ev;
+    if (ugni::GNI_CqGetEvent(n.tx_cq, &ev) != ugni::GNI_RC_SUCCESS) break;
+    if (ev.type == ugni::CqEventType::kPostLocal) {
+      comm_handle_completion(ctx, n, ev);
+    }
+  }
+
+  // 2. Stalled sends, then fresh worker traffic.  Workers enqueue with
+  // their own cursors, so ready times are not monotonic across the queue:
+  // scan for everything that is ready, keeping relative order.
+  comm_flush(ctx, n);
+  std::deque<NodeState::Out> later;
+  while (!n.outq.empty()) {
+    NodeState::Out out = n.outq.front();
+    n.outq.pop_front();
+    if (out.ready > ctx.now()) {
+      later.push_back(out);
+      continue;
+    }
+    ctx.charge(kSmpDequeueNs);
+    ++stats_.comm_thread_sends;
+    if (out.size + 4 <= smsg_cap_) {  // +4: worker routing prefix
+      comm_send(ctx, n, out.dest_pe, kTagData, out.msg, out.size, out.msg);
+      continue;
+    }
+    // Rendezvous: the buffer lives in the node pool (pre-registered) or is
+    // registered here by the comm thread.
+    ugni::gni_mem_handle_t hndl{};
+    if (n.pool && n.pool->owns(out.msg)) {
+      hndl = n.pool->handle_of(out.msg);
+    } else {
+      ugni::gni_return_t rc = ugni::GNI_MemRegister(
+          n.nic, reinterpret_cast<std::uint64_t>(out.msg), out.size, nullptr,
+          0, &hndl);
+      assert(rc == ugni::GNI_RC_SUCCESS);
+      (void)rc;
+    }
+    std::uint64_t id = n.next_send_id++;
+    n.sends.emplace(id, NodeState::LargeSend{out.msg});
+    InitCtrl ctrl;
+    ctrl.send_id = id;
+    ctrl.addr = reinterpret_cast<std::uint64_t>(out.msg);
+    ctrl.hndl = hndl;
+    ctrl.size = out.size;
+    ctrl.dest_pe = out.dest_pe;
+    comm_send(ctx, n, out.dest_pe, kTagInit, &ctrl, sizeof(ctrl), nullptr);
+  }
+  n.outq.swap(later);
+
+  n.comm_avail = ctx.now();
+  if (!n.outq.empty() || !n.backlog.empty()) {
+    ++stats_.comm_thread_busy_defers;
+    SimTime next = n.comm_avail + (n.backlog.empty() ? 0 : 500);
+    for (const auto& out : n.outq) next = std::min(next, out.ready);
+    comm_wake(n, std::max(next, n.comm_avail));
+  }
+  if (n.comm_pending_wake != kNever) {
+    SimTime w = n.comm_pending_wake;
+    n.comm_pending_wake = kNever;
+    comm_wake(n, w);
+  }
+}
+
+void SmpLayer::comm_send(sim::Context& ctx, NodeState& n, int dest_pe,
+                         std::uint8_t tag, const void* bytes,
+                         std::uint32_t len, void* owned_msg) {
+  const int dest_node = machine_->node_of_pe(dest_pe);
+  ugni::gni_ep_handle_t ep = ensure_channel(ctx, n, dest_node);
+  // The worker-level destination rides in the first payload bytes for
+  // kTagData (the Converse envelope) and inside InitCtrl otherwise, so the
+  // SMSG itself needs no extra routing field — but data messages must tell
+  // the remote comm thread which worker to hand off to.  We prepend a
+  // 4-byte dest for data messages.
+  if (tag == kTagData) {
+    std::vector<std::uint8_t> wire(4 + len);
+    std::int32_t d32 = dest_pe;
+    std::memcpy(wire.data(), &d32, 4);
+    std::memcpy(wire.data() + 4, bytes, len);
+    if (n.backlog.empty()) {
+      ugni::gni_return_t rc = ugni::GNI_SmsgSendWTag(
+          ep, wire.data(), static_cast<std::uint32_t>(wire.size()), nullptr,
+          0, 0, tag);
+      if (rc == ugni::GNI_RC_SUCCESS) {
+        if (owned_msg && n.pool && n.pool->owns(owned_msg)) {
+          n.pool->free(owned_msg);
+        } else if (owned_msg) {
+          ::operator delete[](owned_msg, std::align_val_t{16});
+        }
+        return;
+      }
+      assert(rc == ugni::GNI_RC_NOT_DONE);
+    }
+    NodeState::Pending p;
+    p.dest_node = dest_node;
+    p.dest_pe = dest_pe;
+    p.tag = tag;
+    p.ctrl = std::move(wire);
+    p.msg = owned_msg;
+    n.backlog.push_back(std::move(p));
+    return;
+  }
+  if (n.backlog.empty()) {
+    ugni::gni_return_t rc =
+        ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, tag);
+    if (rc == ugni::GNI_RC_SUCCESS) return;
+    assert(rc == ugni::GNI_RC_NOT_DONE);
+  }
+  NodeState::Pending p;
+  p.dest_node = dest_node;
+  p.dest_pe = dest_pe;
+  p.tag = tag;
+  p.ctrl.assign(static_cast<const std::uint8_t*>(bytes),
+                static_cast<const std::uint8_t*>(bytes) + len);
+  n.backlog.push_back(std::move(p));
+}
+
+void SmpLayer::comm_flush(sim::Context& ctx, NodeState& n) {
+  while (!n.backlog.empty()) {
+    NodeState::Pending& p = n.backlog.front();
+    ugni::gni_ep_handle_t ep = ensure_channel(ctx, n, p.dest_node);
+    ugni::gni_return_t rc = ugni::GNI_SmsgSendWTag(
+        ep, p.ctrl.data(), static_cast<std::uint32_t>(p.ctrl.size()),
+        nullptr, 0, 0, p.tag);
+    if (rc != ugni::GNI_RC_SUCCESS) return;
+    if (p.msg) {
+      if (n.pool && n.pool->owns(p.msg)) {
+        n.pool->free(p.msg);
+      } else {
+        ::operator delete[](p.msg, std::align_val_t{16});
+      }
+    }
+    n.backlog.pop_front();
+  }
+}
+
+void SmpLayer::deliver_to_worker(NodeState& n, int pe, void* msg,
+                                 SimTime t) {
+  (void)n;
+  header_of(msg)->alloc_pe = pe;
+  machine_->pe(pe).enqueue(msg, t);
+}
+
+void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
+                                int src_inst) {
+  const auto& mc = machine_->options().mc;
+  ugni::gni_ep_handle_t ep = n.eps.at(src_inst);
+  void* data = nullptr;
+  std::uint8_t tag = 0;
+  if (ugni::GNI_SmsgGetNextWTag(ep, &data, &tag) != ugni::GNI_RC_SUCCESS) {
+    return;
+  }
+  switch (tag) {
+    case kTagData: {
+      std::int32_t dest_pe = 0;
+      std::memcpy(&dest_pe, data, 4);
+      const auto* h = header_of(static_cast<std::uint8_t*>(data) + 4);
+      std::uint32_t size = h->size;
+      void* buf;
+      if (n.pool) {
+        buf = n.pool->alloc(size);
+      } else {
+        ctx.charge(mc.malloc_cost(size));
+        buf = ::operator new[](size, std::align_val_t{16});
+      }
+      ctx.charge(mc.memcpy_cost(size));
+      std::memcpy(buf, static_cast<std::uint8_t*>(data) + 4, size);
+      deliver_to_worker(n, dest_pe, buf, ctx.now());
+      break;
+    }
+    case kTagInit: {
+      InitCtrl ctrl;
+      std::memcpy(&ctrl, data, sizeof(ctrl));
+      if (std::getenv("UGNIRT_SMPDBG"))
+        std::fprintf(stderr, "INIT node=%d id=%llu size=%u dest=%d t=%lld\n",
+                     n.node, (unsigned long long)ctrl.send_id, ctrl.size,
+                     ctrl.dest_pe, (long long)ctx.now());
+      NodeState::LargeRecv lr;
+      lr.send_id = ctrl.send_id;
+      lr.src_node = node_state(src_inst).node;
+      lr.dest_pe = ctrl.dest_pe;
+      ugni::gni_mem_handle_t local{};
+      if (n.pool) {
+        lr.buf = n.pool->alloc(ctrl.size);
+        local = n.pool->handle_of(lr.buf);
+      } else {
+        ctx.charge(mc.malloc_cost(ctrl.size));
+        lr.buf = ::operator new[](ctrl.size, std::align_val_t{16});
+        ugni::gni_return_t rr = ugni::GNI_MemRegister(
+            n.nic, reinterpret_cast<std::uint64_t>(lr.buf), ctrl.size,
+            nullptr, 0, &local);
+        assert(rr == ugni::GNI_RC_SUCCESS);
+        (void)rr;
+      }
+      lr.desc = std::make_unique<ugni::gni_post_descriptor_t>();
+      lr.desc->type = ctrl.size < mc.rdma_threshold
+                          ? ugni::GNI_POST_FMA_GET
+                          : ugni::GNI_POST_RDMA_GET;
+      lr.desc->local_addr = reinterpret_cast<std::uint64_t>(lr.buf);
+      lr.desc->local_mem_hndl = local;
+      lr.desc->remote_addr = ctrl.addr;
+      lr.desc->remote_mem_hndl = ctrl.hndl;
+      lr.desc->length = ctrl.size;
+      std::uint64_t rid = n.next_recv_id++;
+      lr.desc->post_id = rid;
+      ugni::gni_ep_handle_t back = ensure_channel(ctx, n, lr.src_node);
+      ugni::gni_return_t pr = lr.desc->type == ugni::GNI_POST_FMA_GET
+                                  ? ugni::GNI_PostFma(back, lr.desc.get())
+                                  : ugni::GNI_PostRdma(back, lr.desc.get());
+      assert(pr == ugni::GNI_RC_SUCCESS);
+      (void)pr;
+      ++stats_.rendezvous_gets;
+      n.recvs.emplace(rid, std::move(lr));
+      break;
+    }
+    case kTagAck: {
+      AckCtrl ack;
+      std::memcpy(&ack, data, sizeof(ack));
+      auto it = n.sends.find(ack.send_id);
+      assert(it != n.sends.end());
+      void* msg = it->second.msg;
+      if (n.pool && n.pool->owns(msg)) {
+        n.pool->free(msg);
+      } else {
+        ::operator delete[](msg, std::align_val_t{16});
+      }
+      n.sends.erase(it);
+      break;
+    }
+    default:
+      assert(false && "SMP layer: unknown tag");
+  }
+  ugni::GNI_SmsgRelease(ep);
+}
+
+void SmpLayer::comm_handle_completion(sim::Context& ctx, NodeState& n,
+                                      const ugni::gni_cq_entry_t& ev) {
+  ugni::gni_post_descriptor_t* desc = nullptr;
+  ugni::gni_return_t rc = ugni::GNI_GetCompleted(n.tx_cq, ev, &desc);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  (void)rc;
+  auto it = n.recvs.find(desc->post_id);
+  assert(it != n.recvs.end());
+  NodeState::LargeRecv& lr = it->second;
+  if (std::getenv("UGNIRT_SMPDBG"))
+    std::fprintf(stderr, "GETDONE node=%d id=%llu dest=%d t=%lld\n", n.node,
+                 (unsigned long long)lr.send_id, lr.dest_pe,
+                 (long long)ctx.now());
+  AckCtrl ack{lr.send_id};
+  // Route the ACK back via a worker-agnostic control message to any PE of
+  // the source node (only the node matters for ACKs).
+  int dest_pe_on_src_node =
+      lr.src_node * machine_->options().effective_pes_per_node();
+  comm_send(ctx, n, dest_pe_on_src_node, kTagAck, &ack, sizeof(ack),
+            nullptr);
+  deliver_to_worker(n, lr.dest_pe, lr.buf, ctx.now());
+  n.recvs.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side progress (nothing to do: the comm thread owns the network)
+// ---------------------------------------------------------------------------
+
+void SmpLayer::advance(sim::Context&, converse::Pe&) {}
+
+bool SmpLayer::has_backlog(const converse::Pe&) const { return false; }
+
+}  // namespace ugnirt::lrts

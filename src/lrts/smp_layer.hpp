@@ -1,0 +1,90 @@
+// SMP-mode uGNI machine layer — the paper's §VII future work, built out.
+//
+// "Although optimized, the intra-node communication via POSIX shared
+// memory is still quite slow due to memory copy.  We plan to investigate
+// the SMP mode of CHARM++ on uGNI to further optimize the intra-node
+// communication."
+//
+// In SMP mode one *process* spans a node: worker PEs share the node's
+// address space and a single NIC driven by a dedicated communication
+// thread (modeled as an independent actor with its own virtual-time
+// cursor).  Consequences, all realized here:
+//
+//   * intra-node messages pass by pointer between workers — zero copies,
+//     no pxshm, no NIC loopback;
+//   * SMSG mailboxes exist per node *pair*, not per PE pair — mailbox
+//     memory shrinks by (cores/node)^2;
+//   * network work (protocol handling, CQ polling, rendezvous GETs) runs
+//     on the comm thread, overlapping with worker compute — workers pay
+//     only a lock-and-enqueue cost to send;
+//   * the comm thread is a serialization point: at high message rates it
+//     saturates before independent per-PE NICs would (the known SMP-mode
+//     trade-off; see ablation_smp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "converse/machine.hpp"
+#include "mempool/mempool.hpp"
+#include "ugni/ugni.hpp"
+
+namespace ugnirt::lrts {
+
+class SmpLayer final : public converse::MachineLayer {
+ public:
+  SmpLayer();
+  ~SmpLayer() override;
+
+  const char* name() const override { return "uGNI-SMP"; }
+
+  void init_pe(converse::Pe& pe) override;
+  void* alloc(sim::Context& ctx, converse::Pe& pe, std::size_t bytes) override;
+  void free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) override;
+  void sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                 std::uint32_t size, void* msg) override;
+  void advance(sim::Context& ctx, converse::Pe& pe) override;
+  bool has_backlog(const converse::Pe& pe) const override;
+
+  struct LayerStats {
+    std::uint64_t intra_node_ptr_msgs = 0;  // zero-copy worker-to-worker
+    std::uint64_t comm_thread_sends = 0;
+    std::uint64_t rendezvous_gets = 0;
+    std::uint64_t comm_thread_busy_defers = 0;
+  };
+  const LayerStats& stats() const { return stats_; }
+
+  /// Mailbox memory across the job: grows with node pairs, not PE pairs.
+  std::uint64_t total_mailbox_bytes() const;
+
+ private:
+  struct NodeState;
+
+  NodeState& node_state(int node) {
+    return *nodes_[static_cast<std::size_t>(node)];
+  }
+  void ensure_domain(converse::Machine& m);
+  ugni::gni_ep_handle_t ensure_channel(sim::Context& ctx, NodeState& src,
+                                       int dest_node);
+  void comm_wake(NodeState& n, SimTime t);
+  void comm_step(NodeState& n, SimTime t);
+  void comm_handle_smsg(sim::Context& ctx, NodeState& n, int src_inst);
+  void comm_handle_completion(sim::Context& ctx, NodeState& n,
+                              const ugni::gni_cq_entry_t& ev);
+  void comm_send(sim::Context& ctx, NodeState& n, int dest_pe,
+                 std::uint8_t tag, const void* bytes, std::uint32_t len,
+                 void* owned_msg);
+  void comm_flush(sim::Context& ctx, NodeState& n);
+  void deliver_to_worker(NodeState& n, int pe, void* msg, SimTime t);
+
+  converse::Machine* machine_ = nullptr;
+  std::unique_ptr<ugni::Domain> domain_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::uint32_t smsg_cap_ = 1024;
+  LayerStats stats_;
+};
+
+}  // namespace ugnirt::lrts

@@ -1,0 +1,759 @@
+#include "lrts/ugni_layer.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "ugni/msgq.hpp"
+#include "util/log.hpp"
+
+namespace ugnirt::lrts {
+
+using converse::CmiMsgHeader;
+using converse::header_of;
+using converse::kCmiHeaderBytes;
+using converse::kMsgFlagNoFree;
+
+namespace {
+
+// SMSG tags of the machine-layer protocol (paper Fig 5 / Fig 7).
+constexpr std::uint8_t kTagData = 1;          // whole small message inline
+constexpr std::uint8_t kTagInit = 2;          // INIT_TAG: rendezvous control
+constexpr std::uint8_t kTagAck = 3;           // ACK_TAG: sender may free
+constexpr std::uint8_t kTagPersistData = 4;   // PERSISTENT_TAG: data landed
+
+/// INIT_TAG payload: everything the receiver needs to GET the message.
+struct InitCtrl {
+  std::uint64_t send_id = 0;
+  std::uint64_t addr = 0;
+  ugni::gni_mem_handle_t hndl{};
+  std::uint32_t size = 0;
+  std::int32_t src_pe = -1;
+};
+
+struct AckCtrl {
+  std::uint64_t send_id = 0;
+};
+
+/// PERSISTENT_TAG payload.
+struct PersistCtrl {
+  std::int32_t channel = -1;
+  std::uint32_t size = 0;
+  std::int32_t src_pe = -1;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-PE and per-node state
+// ---------------------------------------------------------------------------
+
+struct UgniLayer::PeState final : converse::LayerPeState {
+  converse::Pe* pe = nullptr;
+  ugni::gni_nic_handle_t nic = nullptr;
+  ugni::gni_cq_handle_t rx_cq = nullptr;  // SMSG arrivals
+  ugni::gni_cq_handle_t tx_cq = nullptr;  // FMA/BTE local completions
+  ugni::gni_msgq_handle_t msgq = nullptr; // shared queue (use_msgq mode)
+  std::unordered_map<int, ugni::gni_ep_handle_t> eps;
+  std::unique_ptr<mempool::MemPool> pool;  // null when use_mempool = false
+
+  // In-flight rendezvous sends: waiting for ACK_TAG.
+  struct LargeSend {
+    void* msg = nullptr;
+    ugni::gni_mem_handle_t hndl{};
+    bool registered = false;  // true when we must deregister on ACK
+  };
+  std::unordered_map<std::uint64_t, LargeSend> sends;
+  std::uint64_t next_send_id = 1;
+
+  // In-flight rendezvous receives: GET posted, waiting for completion.
+  struct LargeRecv {
+    void* buf = nullptr;
+    std::unique_ptr<ugni::gni_post_descriptor_t> desc;
+    std::uint64_t send_id = 0;
+    std::int32_t src_pe = -1;
+    bool registered = false;
+    ugni::gni_mem_handle_t local_hndl{};
+  };
+  std::unordered_map<std::uint64_t, LargeRecv> recvs;
+  std::uint64_t next_recv_id = 1;
+
+  // Persistent channels where this PE is the *receiver*.
+  struct PersistRx {
+    void* buf = nullptr;
+    std::uint32_t max_bytes = 0;
+    ugni::gni_mem_handle_t hndl{};
+  };
+  std::vector<PersistRx> persist_rx;
+
+  // Persistent channels where this PE is the *sender*.
+  struct PersistTx {
+    int dest_pe = -1;
+    std::int32_t remote_channel = -1;
+    std::uint64_t remote_addr = 0;
+    ugni::gni_mem_handle_t remote_hndl{};
+    std::uint32_t max_bytes = 0;
+  };
+  std::vector<PersistTx> persist_tx;
+
+  // PUTs in flight for persistent sends, keyed by descriptor post_id.
+  struct PersistSend {
+    void* msg = nullptr;
+    std::unique_ptr<ugni::gni_post_descriptor_t> desc;
+    std::int32_t tx_index = -1;
+    std::uint32_t size = 0;
+    bool app_owned = false;  // app reuses this buffer; don't free it
+  };
+  std::unordered_map<std::uint64_t, PersistSend> persist_sends;
+  std::uint64_t next_persist_id = 1;
+
+  // Persistent send buffers stay registered across iterations (the
+  // "persistent memory for sending message" of Fig 7a); registration is
+  // paid once per buffer and cached here in the no-pool configuration.
+  std::unordered_map<const void*, ugni::gni_mem_handle_t> persist_send_reg;
+
+  // Credit-stalled SMSG sends, retried from advance().
+  struct Pending {
+    int dest_pe = -1;
+    std::uint8_t tag = 0;
+    std::vector<std::uint8_t> ctrl;  // control payload (ctrl tags)
+    void* msg = nullptr;             // data payload (kTagData), owned
+  };
+  std::deque<Pending> backlog;
+
+  ~PeState() override {
+    for (auto& p : backlog) {
+      if (p.msg) ::operator delete[](p.msg, std::align_val_t{16});
+    }
+  }
+};
+
+/// Intra-node pxshm: one receive queue per local PE.
+struct UgniLayer::NodeShm {
+  struct Entry {
+    void* msg = nullptr;
+    std::uint32_t size = 0;
+    SimTime at = 0;
+  };
+  std::vector<std::deque<Entry>> rx;  // indexed by pe-on-node rank
+};
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
+
+UgniLayer::UgniLayer() = default;
+UgniLayer::~UgniLayer() = default;
+
+std::uint64_t UgniLayer::total_mailbox_bytes() const {
+  return domain_ ? domain_->total_mailbox_bytes() : 0;
+}
+
+UgniLayer::PeState& UgniLayer::state(converse::Pe& pe) {
+  return *static_cast<PeState*>(pe.layer_state());
+}
+
+UgniLayer::PeState& UgniLayer::state_of(int pe_id) {
+  return *states_[static_cast<std::size_t>(pe_id)];
+}
+
+void UgniLayer::ensure_domain(converse::Machine& m) {
+  if (domain_) return;
+  machine_ = &m;
+  domain_ = std::make_unique<ugni::Domain>(m.network());
+  states_.resize(static_cast<std::size_t>(m.num_pes()), nullptr);
+  node_shm_.resize(static_cast<std::size_t>(m.options().nodes()));
+  for (auto& shm : node_shm_) {
+    shm = std::make_unique<NodeShm>();
+    shm->rx.resize(static_cast<std::size_t>(
+        m.options().effective_pes_per_node()));
+  }
+  smsg_cap_ = m.options().mc.smsg_max_for_job(m.num_pes());
+}
+
+void UgniLayer::init_pe(converse::Pe& pe) {
+  ensure_domain(pe.machine());
+  auto st = std::make_unique<PeState>();
+  PeState* s = st.get();
+  s->pe = &pe;
+  ugni::gni_return_t rc =
+      ugni::GNI_CdmAttach(domain_.get(), pe.id(), pe.node(), &s->nic);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  rc = ugni::GNI_CqCreate(s->nic, 1u << 16, &s->rx_cq);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  rc = ugni::GNI_CqCreate(s->nic, 1u << 16, &s->tx_cq);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  (void)rc;
+  s->nic->set_smsg_rx_cq(s->rx_cq);
+
+  converse::Pe* pptr = &pe;
+  s->rx_cq->set_notify([pptr](SimTime t) { pptr->wake(t); });
+  s->tx_cq->set_notify([pptr](SimTime t) { pptr->wake(t); });
+  s->nic->set_credit_notify([pptr](SimTime t) { pptr->wake(t); });
+
+  if (pe.machine().options().use_msgq) {
+    rc = ugni::GNI_MsgqInit(s->nic, 256 * 1024, &s->msgq);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    s->msgq->set_notify([pptr](SimTime t) { pptr->wake(t); });
+  }
+
+  if (pe.machine().options().use_mempool) {
+    s->pool = std::make_unique<mempool::MemPool>(
+        s->nic, pe.machine().options().mc.mempool_init_bytes);
+  }
+  states_[static_cast<std::size_t>(pe.id())] = s;
+  pe.set_layer_state(std::move(st));
+}
+
+ugni::gni_ep_handle_t UgniLayer::ensure_channel(sim::Context& ctx,
+                                                PeState& src, int dest_pe) {
+  auto it = src.eps.find(dest_pe);
+  if (it != src.eps.end()) return it->second;
+
+  PeState& dst = state_of(dest_pe);
+  const auto& mc = machine_->options().mc;
+
+  const bool msgq_mode = machine_->options().use_msgq;
+  ugni::gni_smsg_attr_t attr;
+  attr.msg_maxsize = smsg_cap_;
+  attr.mbox_maxcredit = mc.smsg_mailbox_credits;
+
+  ugni::gni_ep_handle_t fwd = nullptr;
+  ugni::gni_return_t rc = ugni::GNI_EpCreate(src.nic, src.tx_cq, &fwd);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  rc = ugni::GNI_EpBind(fwd, dest_pe);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  if (!msgq_mode) {
+    rc = ugni::GNI_SmsgInit(fwd, attr, attr);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+  }
+  src.eps[dest_pe] = fwd;
+
+  // The reverse endpoint is created on the peer as part of the dynamic
+  // connection setup (done via out-of-band datagrams in the real layer);
+  // we charge the initiator for both mailbox registrations.
+  if (!dst.eps.count(src.pe->id())) {
+    ugni::gni_ep_handle_t rev = nullptr;
+    rc = ugni::GNI_EpCreate(dst.nic, dst.tx_cq, &rev);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    rc = ugni::GNI_EpBind(rev, src.pe->id());
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    if (!msgq_mode) {
+      rc = ugni::GNI_SmsgInit(rev, attr, attr);
+      assert(rc == ugni::GNI_RC_SUCCESS);
+    }
+    dst.eps[src.pe->id()] = rev;
+  }
+  (void)rc;
+  if (!msgq_mode) {
+    // MSGQ mode pins no per-pair mailboxes — that is its whole point.
+    const std::uint64_t mbox = static_cast<std::uint64_t>(
+                                   attr.mbox_maxcredit) *
+                               (attr.msg_maxsize + 16);
+    ctx.charge(2 * mc.reg_cost(mbox));  // both mailboxes pinned
+    stats_.registrations += 2;
+  }
+  return fwd;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------------
+
+void* UgniLayer::alloc(sim::Context& ctx, converse::Pe& pe,
+                       std::size_t bytes) {
+  PeState& s = state(pe);
+  if (s.pool) return s.pool->alloc(bytes);
+  // "Original" path: modeled system malloc.
+  ctx.charge(machine_->options().mc.malloc_cost(bytes));
+  return ::operator new[](bytes, std::align_val_t{16});
+}
+
+void UgniLayer::free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) {
+  PeState& s = state(pe);
+  if (s.pool) {
+    if (s.pool->owns(msg)) {
+      s.pool->free(msg);
+      return;
+    }
+    // pxshm single-copy delivers buffers owned by a same-node peer's pool.
+    int owner = header_of(msg)->alloc_pe;
+    if (owner >= 0 && owner != pe.id()) {
+      PeState& o = state_of(owner);
+      if (o.pool && o.pool->owns(msg)) {
+        o.pool->free(msg);
+        return;
+      }
+    }
+    assert(false && "free_msg: pool cannot locate buffer owner");
+    return;
+  }
+  ctx.charge(machine_->options().mc.free_base_ns);
+  ::operator delete[](msg, std::align_val_t{16});
+}
+
+// ---------------------------------------------------------------------------
+// SMSG with backlog
+// ---------------------------------------------------------------------------
+
+void UgniLayer::smsg_send(sim::Context& ctx, PeState& src, int dest_pe,
+                          std::uint8_t tag, const void* bytes,
+                          std::uint32_t len, void* owned_msg) {
+  const bool msgq_mode = machine_->options().use_msgq;
+  ugni::gni_ep_handle_t ep = nullptr;
+  if (!msgq_mode) ep = ensure_channel(ctx, src, dest_pe);
+  if (src.backlog.empty()) {
+    ugni::gni_return_t rc =
+        msgq_mode
+            ? ugni::GNI_MsgqSend(src.nic, dest_pe, bytes, len, nullptr, 0,
+                                 tag)
+            : ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, tag);
+    if (rc == ugni::GNI_RC_SUCCESS) {
+      ++stats_.smsg_sends;
+      if (owned_msg) free_msg(ctx, *src.pe, owned_msg);
+      return;
+    }
+    assert(rc == ugni::GNI_RC_NOT_DONE);
+  }
+  // Out of credits (or draining in order behind earlier stalls): queue.
+  ++stats_.credit_stalls;
+  PeState::Pending p;
+  p.dest_pe = dest_pe;
+  p.tag = tag;
+  if (owned_msg) {
+    p.msg = owned_msg;  // payload lives in the message itself
+  } else {
+    p.ctrl.assign(static_cast<const std::uint8_t*>(bytes),
+                  static_cast<const std::uint8_t*>(bytes) + len);
+  }
+  src.backlog.push_back(std::move(p));
+}
+
+void UgniLayer::flush_backlog(sim::Context& ctx, PeState& s) {
+  const bool msgq_mode = machine_->options().use_msgq;
+  while (!s.backlog.empty()) {
+    PeState::Pending& p = s.backlog.front();
+    const void* bytes = p.msg ? p.msg : p.ctrl.data();
+    std::uint32_t len = p.msg ? header_of(p.msg)->size
+                              : static_cast<std::uint32_t>(p.ctrl.size());
+    ugni::gni_return_t rc;
+    if (msgq_mode) {
+      rc = ugni::GNI_MsgqSend(s.nic, p.dest_pe, bytes, len, nullptr, 0,
+                              p.tag);
+    } else {
+      ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, p.dest_pe);
+      rc = ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, p.tag);
+    }
+    if (rc != ugni::GNI_RC_SUCCESS) return;  // still stalled
+    ++stats_.smsg_sends;
+    if (p.msg) free_msg(ctx, *s.pe, p.msg);
+    s.backlog.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Send path (LrtsSyncSend)
+// ---------------------------------------------------------------------------
+
+void UgniLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                          std::uint32_t size, void* msg) {
+  converse::Machine& m = *machine_;
+  PeState& s = state(src);
+
+  const bool same_node = m.node_of_pe(dest_pe) == src.node();
+  if (same_node && m.options().use_pxshm) {
+    pxshm_send(ctx, src, dest_pe, size, msg);
+    return;
+  }
+
+  if (size <= smsg_cap_) {
+    smsg_send(ctx, s, dest_pe, kTagData, msg, size, /*owned_msg=*/msg);
+    return;
+  }
+
+  // Rendezvous (Fig 5): register / resolve the send buffer, ship INIT_TAG.
+  PeState::LargeSend ls;
+  ls.msg = msg;
+  if (s.pool) {
+    ls.hndl = s.pool->handle_of(msg);
+    ls.registered = false;
+  } else {
+    ugni::gni_return_t rc = ugni::GNI_MemRegister(
+        s.nic, reinterpret_cast<std::uint64_t>(msg), size, nullptr, 0,
+        &ls.hndl);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    (void)rc;
+    ls.registered = true;
+    ++stats_.registrations;
+  }
+  std::uint64_t id = s.next_send_id++;
+  s.sends.emplace(id, ls);
+
+  InitCtrl ctrl;
+  ctrl.send_id = id;
+  ctrl.addr = reinterpret_cast<std::uint64_t>(msg);
+  ctrl.hndl = ls.hndl;
+  ctrl.size = size;
+  ctrl.src_pe = src.id();
+  smsg_send(ctx, s, dest_pe, kTagInit, &ctrl, sizeof(ctrl), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Progress engine (LrtsNetworkEngine)
+// ---------------------------------------------------------------------------
+
+void UgniLayer::advance(sim::Context& ctx, converse::Pe& pe) {
+  PeState& s = state(pe);
+
+  // Drain SMSG arrivals.
+  for (;;) {
+    ugni::gni_cq_entry_t ev;
+    ugni::gni_return_t rc = ugni::GNI_CqGetEvent(s.rx_cq, &ev);
+    if (rc != ugni::GNI_RC_SUCCESS) break;
+    if (ev.type == ugni::CqEventType::kSmsg) {
+      handle_smsg(ctx, pe, s, ev.source_inst);
+    }
+  }
+
+  // Drain the shared message queue (MSGQ mode).
+  if (s.msgq) {
+    for (;;) {
+      void* data = nullptr;
+      std::uint32_t len = 0;
+      std::uint8_t tag = 0;
+      std::int32_t source = -1;
+      ugni::gni_return_t rc =
+          ugni::GNI_MsgqProgress(s.msgq, &data, &len, &tag, &source);
+      if (rc != ugni::GNI_RC_SUCCESS) break;
+      handle_protocol_msg(ctx, pe, s, tag, data);
+    }
+  }
+
+  // Drain FMA/BTE completions.
+  for (;;) {
+    ugni::gni_cq_entry_t ev;
+    ugni::gni_return_t rc = ugni::GNI_CqGetEvent(s.tx_cq, &ev);
+    if (rc != ugni::GNI_RC_SUCCESS) break;
+    if (ev.type == ugni::CqEventType::kPostLocal) {
+      handle_completion(ctx, pe, s, ev);
+    }
+  }
+
+  if (machine_->options().use_pxshm) pxshm_poll(ctx, pe);
+  flush_backlog(ctx, s);
+}
+
+bool UgniLayer::has_backlog(const converse::Pe& pe) const {
+  const auto* s = static_cast<const PeState*>(pe.layer_state());
+  return s && !s->backlog.empty();
+}
+
+void UgniLayer::handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                            int src_inst) {
+  ugni::gni_ep_handle_t ep = s.eps.at(src_inst);
+  void* data = nullptr;
+  std::uint8_t tag = 0;
+  ugni::gni_return_t rc = ugni::GNI_SmsgGetNextWTag(ep, &data, &tag);
+  if (rc != ugni::GNI_RC_SUCCESS) return;
+  handle_protocol_msg(ctx, pe, s, tag, data);
+  ugni::GNI_SmsgRelease(ep);
+}
+
+void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
+                                    PeState& s, std::uint8_t tag,
+                                    const void* data) {
+  const auto& mc = machine_->options().mc;
+  switch (tag) {
+    case kTagData: {
+      // Copy out of the mailbox/queue slot into a runtime buffer.
+      const CmiMsgHeader* h = header_of(data);
+      std::uint32_t size = h->size;
+      void* buf = alloc(ctx, pe, size);
+      ctx.charge(mc.memcpy_cost(size));
+      std::memcpy(buf, data, size);
+      header_of(buf)->alloc_pe = pe.id();
+      pe.enqueue(buf, ctx.now());
+      break;
+    }
+    case kTagInit: {
+      InitCtrl ctrl;
+      std::memcpy(&ctrl, data, sizeof(ctrl));
+
+      PeState::LargeRecv lr;
+      lr.send_id = ctrl.send_id;
+      lr.src_pe = ctrl.src_pe;
+      if (s.pool) {
+        lr.buf = s.pool->alloc(ctrl.size);
+        lr.local_hndl = s.pool->handle_of(lr.buf);
+        lr.registered = false;
+      } else {
+        ctx.charge(mc.malloc_cost(ctrl.size));
+        lr.buf = ::operator new[](ctrl.size, std::align_val_t{16});
+        ugni::gni_return_t rr = ugni::GNI_MemRegister(
+            s.nic, reinterpret_cast<std::uint64_t>(lr.buf), ctrl.size,
+            nullptr, 0, &lr.local_hndl);
+        assert(rr == ugni::GNI_RC_SUCCESS);
+        (void)rr;
+        lr.registered = true;
+        ++stats_.registrations;
+      }
+      lr.desc = std::make_unique<ugni::gni_post_descriptor_t>();
+      lr.desc->type = ctrl.size < mc.rdma_threshold
+                          ? ugni::GNI_POST_FMA_GET
+                          : ugni::GNI_POST_RDMA_GET;
+      lr.desc->local_addr = reinterpret_cast<std::uint64_t>(lr.buf);
+      lr.desc->local_mem_hndl = lr.local_hndl;
+      lr.desc->remote_addr = ctrl.addr;
+      lr.desc->remote_mem_hndl = ctrl.hndl;
+      lr.desc->length = ctrl.size;
+      std::uint64_t rid = s.next_recv_id++;
+      lr.desc->post_id = rid;
+
+      ugni::gni_ep_handle_t back = ensure_channel(ctx, s, ctrl.src_pe);
+      ugni::gni_return_t pr =
+          lr.desc->type == ugni::GNI_POST_FMA_GET
+              ? ugni::GNI_PostFma(back, lr.desc.get())
+              : ugni::GNI_PostRdma(back, lr.desc.get());
+      assert(pr == ugni::GNI_RC_SUCCESS);
+      (void)pr;
+      ++stats_.rendezvous_gets;
+      s.recvs.emplace(rid, std::move(lr));
+      break;
+    }
+    case kTagAck: {
+      AckCtrl ack;
+      std::memcpy(&ack, data, sizeof(ack));
+      auto it = s.sends.find(ack.send_id);
+      assert(it != s.sends.end());
+      PeState::LargeSend& ls = it->second;
+      if (ls.registered) {
+        ugni::GNI_MemDeregister(s.nic, &ls.hndl);
+      }
+      free_msg(ctx, pe, ls.msg);
+      s.sends.erase(it);
+      break;
+    }
+    case kTagPersistData: {
+      PersistCtrl pc;
+      std::memcpy(&pc, data, sizeof(pc));
+      PeState::PersistRx& rx =
+          s.persist_rx.at(static_cast<std::size_t>(pc.channel));
+      // Deliver the landing buffer in place: zero copy, runtime-owned.
+      CmiMsgHeader* h = header_of(rx.buf);
+      h->flags |= kMsgFlagNoFree;
+      h->alloc_pe = pe.id();
+      pe.enqueue(rx.buf, ctx.now());
+      break;
+    }
+    default:
+      assert(false && "unknown SMSG tag");
+  }
+}
+
+void UgniLayer::handle_completion(sim::Context& ctx, converse::Pe& pe,
+                                  PeState& s,
+                                  const ugni::gni_cq_entry_t& ev) {
+  ugni::gni_post_descriptor_t* desc = nullptr;
+  ugni::gni_return_t rc = ugni::GNI_GetCompleted(s.tx_cq, ev, &desc);
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  (void)rc;
+
+  if (auto it = s.recvs.find(desc->post_id); it != s.recvs.end()) {
+    // Our GET finished: ACK the sender, deliver the message (Fig 5).
+    PeState::LargeRecv& lr = it->second;
+    AckCtrl ack{lr.send_id};
+    smsg_send(ctx, s, lr.src_pe, kTagAck, &ack, sizeof(ack), nullptr);
+    if (lr.registered) {
+      ugni::GNI_MemDeregister(s.nic, &lr.local_hndl);
+    }
+    header_of(lr.buf)->alloc_pe = pe.id();
+    pe.enqueue(lr.buf, ctx.now());
+    s.recvs.erase(it);
+    return;
+  }
+  if (auto it = s.persist_sends.find(desc->post_id);
+      it != s.persist_sends.end()) {
+    // Persistent PUT landed: notify the receiver, release our buffer
+    // (unless the application owns and reuses it, Fig 7a).
+    PeState::PersistSend& ps = it->second;
+    PeState::PersistTx& tx =
+        s.persist_tx.at(static_cast<std::size_t>(ps.tx_index));
+    PersistCtrl pc;
+    pc.channel = tx.remote_channel;
+    pc.size = ps.size;
+    pc.src_pe = pe.id();
+    smsg_send(ctx, s, tx.dest_pe, kTagPersistData, &pc, sizeof(pc), nullptr);
+    if (!ps.app_owned) {
+      header_of(ps.msg)->flags &=
+          static_cast<std::uint16_t>(~kMsgFlagNoFree);
+      free_msg(ctx, pe, ps.msg);
+    }
+    s.persist_sends.erase(it);
+    return;
+  }
+  assert(false && "completion for unknown descriptor");
+}
+
+// ---------------------------------------------------------------------------
+// Persistent messages (paper §IV-A)
+// ---------------------------------------------------------------------------
+
+converse::PersistentHandle UgniLayer::create_persistent(
+    sim::Context& ctx, converse::Pe& src, int dest_pe,
+    std::uint32_t max_bytes) {
+  // Setup handshake: one control round trip plus the receiver-side
+  // allocation and registration, all charged to the initiating PE (setup
+  // happens once, off the critical path).
+  converse::Machine& m = *machine_;
+  const auto& mc = m.options().mc;
+  PeState& s = state(src);
+  PeState& d = state_of(dest_pe);
+
+  PeState::PersistRx rx;
+  rx.max_bytes = max_bytes;
+  if (d.pool) {
+    rx.buf = d.pool->alloc(max_bytes);
+    rx.hndl = d.pool->handle_of(rx.buf);
+  } else {
+    ctx.charge(mc.malloc_cost(max_bytes));
+    rx.buf = ::operator new[](max_bytes, std::align_val_t{16});
+    ugni::gni_return_t rc = ugni::GNI_MemRegister(
+        d.nic, reinterpret_cast<std::uint64_t>(rx.buf), max_bytes, nullptr, 0,
+        &rx.hndl);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    (void)rc;
+  }
+  d.persist_rx.push_back(rx);
+
+  PeState::PersistTx tx;
+  tx.dest_pe = dest_pe;
+  tx.remote_channel = static_cast<std::int32_t>(d.persist_rx.size()) - 1;
+  tx.remote_addr = reinterpret_cast<std::uint64_t>(rx.buf);
+  tx.remote_hndl = rx.hndl;
+  tx.max_bytes = max_bytes;
+  s.persist_tx.push_back(tx);
+
+  ensure_channel(ctx, s, dest_pe);
+  // Round-trip control exchange.
+  int hops = m.network().hops(src.node(), m.node_of_pe(dest_pe));
+  ctx.charge(2 * (mc.smsg_wire_startup_ns + hops * mc.hop_ns));
+
+  return converse::PersistentHandle{
+      static_cast<std::int32_t>(s.persist_tx.size()) - 1};
+}
+
+void UgniLayer::send_persistent(sim::Context& ctx, converse::Pe& src,
+                                converse::PersistentHandle handle,
+                                std::uint32_t size, void* msg) {
+  assert(handle.valid());
+  const auto& mc = machine_->options().mc;
+  PeState& s = state(src);
+  PeState::PersistTx& tx =
+      s.persist_tx.at(static_cast<std::size_t>(handle.id));
+  assert(size <= tx.max_bytes && "persistent message exceeds channel size");
+
+  PeState::PersistSend ps;
+  ps.msg = msg;
+  ps.size = size;
+  ps.tx_index = handle.id;
+  ps.app_owned =
+      (header_of(msg)->flags & kMsgFlagNoFree) != 0;  // app reuses buffer
+  ugni::gni_mem_handle_t local_hndl{};
+  if (s.pool) {
+    local_hndl = s.pool->handle_of(msg);
+  } else if (auto it = s.persist_send_reg.find(msg);
+             it != s.persist_send_reg.end()) {
+    local_hndl = it->second;  // registered on an earlier iteration
+  } else {
+    ugni::gni_return_t rc = ugni::GNI_MemRegister(
+        s.nic, reinterpret_cast<std::uint64_t>(msg),
+        std::max<std::uint32_t>(size, tx.max_bytes), nullptr, 0,
+        &local_hndl);
+    assert(rc == ugni::GNI_RC_SUCCESS);
+    (void)rc;
+    s.persist_send_reg.emplace(msg, local_hndl);
+  }
+
+  ps.desc = std::make_unique<ugni::gni_post_descriptor_t>();
+  ps.desc->type = size < mc.rdma_threshold ? ugni::GNI_POST_FMA_PUT
+                                           : ugni::GNI_POST_RDMA_PUT;
+  ps.desc->local_addr = reinterpret_cast<std::uint64_t>(msg);
+  ps.desc->local_mem_hndl = local_hndl;
+  ps.desc->remote_addr = tx.remote_addr;
+  ps.desc->remote_mem_hndl = tx.remote_hndl;
+  ps.desc->length = size;
+  std::uint64_t pid = s.next_persist_id++ | (1ull << 63);
+  ps.desc->post_id = pid;
+
+  // Keep the sender buffer stable until the PUT completes.
+  header_of(msg)->flags |= kMsgFlagNoFree;
+
+  ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, tx.dest_pe);
+  ugni::gni_return_t rc = ps.desc->type == ugni::GNI_POST_FMA_PUT
+                              ? ugni::GNI_PostFma(ep, ps.desc.get())
+                              : ugni::GNI_PostRdma(ep, ps.desc.get());
+  assert(rc == ugni::GNI_RC_SUCCESS);
+  (void)rc;
+  ++stats_.persistent_puts;
+  s.persist_sends.emplace(pid, std::move(ps));
+}
+
+// ---------------------------------------------------------------------------
+// Intra-node pxshm (paper §IV-C)
+// ---------------------------------------------------------------------------
+
+void UgniLayer::pxshm_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                           std::uint32_t size, void* msg) {
+  converse::Machine& m = *machine_;
+  const auto& mc = m.options().mc;
+  const int node = src.node();
+  const int local_rank = dest_pe % m.options().effective_pes_per_node();
+
+  // Sender-side copy into the shared region (both modes copy in).
+  ctx.charge(mc.memcpy_cost(size) + mc.pxshm_notify_ns);
+  ++stats_.pxshm_msgs;
+
+  NodeShm::Entry e;
+  e.size = size;
+  e.at = ctx.now();
+  // In both modes the shm block carries the sender's buffer; single copy
+  // delivers it in place, double copy re-copies at the receiver.
+  e.msg = msg;
+  auto& q = node_shm_[static_cast<std::size_t>(node)]
+                ->rx[static_cast<std::size_t>(local_rank)];
+  // Keep the queue ordered by arrival (senders' clocks are not aligned).
+  auto it = q.end();
+  while (it != q.begin() && std::prev(it)->at > e.at) --it;
+  q.insert(it, e);
+  m.pe(dest_pe).wake(e.at);
+}
+
+void UgniLayer::pxshm_poll(sim::Context& ctx, converse::Pe& pe) {
+  converse::Machine& m = *machine_;
+  const auto& mc = m.options().mc;
+  auto& q = node_shm_[static_cast<std::size_t>(pe.node())]
+                ->rx[static_cast<std::size_t>(
+                    pe.id() % m.options().effective_pes_per_node())];
+  if (q.empty()) return;
+  ctx.charge(mc.pxshm_poll_ns);
+  while (!q.empty() && q.front().at <= ctx.now()) {
+    NodeShm::Entry e = q.front();
+    q.pop_front();
+    if (m.options().pxshm_single_copy) {
+      // alloc_pe stays the sender: CmiFree routes back to its pool.
+      pe.enqueue(e.msg, ctx.now());
+    } else {
+      void* buf = alloc(ctx, pe, e.size);
+      ctx.charge(mc.memcpy_cost(e.size));
+      std::memcpy(buf, e.msg, e.size);
+      header_of(buf)->alloc_pe = pe.id();
+      // Free the sender-side buffer (the shm slot becomes reusable).
+      free_msg(ctx, pe, e.msg);
+      pe.enqueue(buf, ctx.now());
+    }
+  }
+  // Entries still in flight: this step may have started before their
+  // notify instant — re-arm the wake so they are not stranded.
+  if (!q.empty()) pe.wake(q.front().at);
+}
+
+}  // namespace ugnirt::lrts

@@ -1,0 +1,115 @@
+// The uGNI-based LRTS machine layer — the paper's primary contribution.
+//
+// Protocols implemented (paper §III-C and §IV):
+//
+//   * Small messages (size <= SMSG cap, which shrinks with job size): sent
+//     directly with GNI_SmsgSendWTag; the receiver polls the RX CQ, copies
+//     the message out of the mailbox and hands it to Converse.
+//   * Large messages: GET-based rendezvous (Fig 5).  The sender registers
+//     (or pool-resolves) the buffer and sends a small INIT_TAG control
+//     message carrying {address, memory handle, size}.  The receiver
+//     allocates + registers a buffer and issues an FMA GET (< rdma
+//     threshold) or BTE GET (>= threshold).  On GET completion it sends
+//     ACK_TAG so the sender can deregister/free.  Cost without the pool is
+//     the paper's Equation 1: 2(Tmalloc+Tregister) + Trdma + 2 Tsmsg.
+//   * Memory pool (§IV-B, Fig 7b): all message buffers come from
+//     pre-registered slabs, removing Tmalloc/Tregister from the path.
+//   * Persistent messages (§IV-A, Fig 7a): the receiver pre-allocates a
+//     registered landing buffer; sends become a single PUT followed by a
+//     PERSISTENT_TAG notification: Tcost = Trdma + Tsmsg.
+//   * Intra-node pxshm (§IV-C): POSIX-shared-memory style queues between
+//     PEs of one node, in double-copy or sender-side single-copy mode;
+//     disabled, intra-node traffic goes through the NIC (the "original"
+//     curve of Fig 8c).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "converse/machine.hpp"
+#include "mempool/mempool.hpp"
+#include "ugni/ugni.hpp"
+
+namespace ugnirt::lrts {
+
+class UgniLayer final : public converse::MachineLayer {
+ public:
+  UgniLayer();
+  ~UgniLayer() override;
+
+  const char* name() const override { return "uGNI"; }
+
+  void init_pe(converse::Pe& pe) override;
+  void* alloc(sim::Context& ctx, converse::Pe& pe, std::size_t bytes) override;
+  void free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) override;
+  void sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                 std::uint32_t size, void* msg) override;
+  void advance(sim::Context& ctx, converse::Pe& pe) override;
+  bool has_backlog(const converse::Pe& pe) const override;
+
+  converse::PersistentHandle create_persistent(
+      sim::Context& ctx, converse::Pe& src, int dest_pe,
+      std::uint32_t max_bytes) override;
+  void send_persistent(sim::Context& ctx, converse::Pe& src,
+                       converse::PersistentHandle handle, std::uint32_t size,
+                       void* msg) override;
+
+  struct LayerStats {
+    std::uint64_t smsg_sends = 0;
+    std::uint64_t rendezvous_gets = 0;
+    std::uint64_t persistent_puts = 0;
+    std::uint64_t pxshm_msgs = 0;
+    std::uint64_t credit_stalls = 0;
+    std::uint64_t registrations = 0;
+  };
+  const LayerStats& stats() const { return stats_; }
+
+  /// Job-wide SMSG payload cap (depends on PE count; paper §III-C).
+  std::uint32_t smsg_cap() const { return smsg_cap_; }
+
+  /// Total SMSG mailbox memory committed across the job — the linear-in-
+  /// peers cost of §II-B.
+  std::uint64_t total_mailbox_bytes() const;
+
+ private:
+  struct PeState;
+  struct NodeShm;
+
+  PeState& state(converse::Pe& pe);
+  PeState& state_of(int pe_id);
+
+  void ensure_domain(converse::Machine& m);
+  /// Lazily create the SMSG channel pair between two PEs; charged to ctx.
+  ugni::gni_ep_handle_t ensure_channel(sim::Context& ctx, PeState& src,
+                                       int dest_pe);
+
+  /// Send a tagged SMSG (control or data), queueing on credit exhaustion.
+  void smsg_send(sim::Context& ctx, PeState& src, int dest_pe,
+                 std::uint8_t tag, const void* bytes, std::uint32_t len,
+                 void* owned_msg);
+  void flush_backlog(sim::Context& ctx, PeState& s);
+
+  void handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                   int src_inst);
+  /// Shared protocol demux for small messages arriving via SMSG or MSGQ.
+  void handle_protocol_msg(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                           std::uint8_t tag, const void* bytes);
+  void handle_completion(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                         const ugni::gni_cq_entry_t& ev);
+
+  void pxshm_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                  std::uint32_t size, void* msg);
+  void pxshm_poll(sim::Context& ctx, converse::Pe& pe);
+
+  converse::Machine* machine_ = nullptr;
+  std::unique_ptr<ugni::Domain> domain_;
+  std::vector<PeState*> states_;  // borrowed; owned by Pe::layer_state
+  std::vector<std::unique_ptr<NodeShm>> node_shm_;
+  std::uint32_t smsg_cap_ = 1024;
+  LayerStats stats_;
+};
+
+}  // namespace ugnirt::lrts

@@ -1,0 +1,147 @@
+#include "mempool/mempool.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ugnirt::mempool {
+
+namespace {
+
+sim::Context& ctx() {
+  sim::Context* c = sim::current();
+  assert(c && "MemPool calls must run inside a simulated PE context");
+  return *c;
+}
+
+}  // namespace
+
+MemPool::MemPool(ugni::gni_nic_handle_t nic, std::uint64_t initial_bytes)
+    : nic_(nic) {
+  std::size_t bins = 0;
+  for (std::size_t s = kMinBlock; s <= kMaxBlock; s <<= 1) ++bins;
+  freelists_.resize(bins);
+  add_slab(initial_bytes);
+}
+
+MemPool::~MemPool() {
+  // Slabs deregister with the NIC; charge nothing (teardown is outside the
+  // measured protocol paths).
+  for (auto& slab : slabs_) {
+    if (sim::current()) {
+      ugni::GNI_MemDeregister(nic_, &slab.handle);
+    }
+  }
+}
+
+std::size_t MemPool::bin_of(std::size_t bytes) {
+  std::size_t need = bytes < kMinBlock ? kMinBlock : std::bit_ceil(bytes);
+  if (need > kMaxBlock) {
+    throw std::length_error("MemPool: allocation exceeds max block size");
+  }
+  return static_cast<std::size_t>(std::countr_zero(need)) -
+         static_cast<std::size_t>(std::countr_zero(kMinBlock));
+}
+
+std::size_t MemPool::bin_block_size(std::size_t bin) {
+  return kMinBlock << bin;
+}
+
+void MemPool::add_slab(std::size_t min_bytes) {
+  // Grow geometrically, and always leave room for several blocks of the
+  // triggering size so steady-state traffic of one size class stops
+  // expanding after one or two slabs (each expansion pays registration).
+  std::size_t size = slabs_.empty() ? min_bytes : slabs_.back().size * 2;
+  if (size < 4 * min_bytes) size = std::bit_ceil(4 * min_bytes);
+  if (size < kMinBlock + kHeaderSize) size = 4096;
+
+  const auto& mc = nic_->domain()->config();
+  sim::Context& c = ctx();
+  c.charge(mc.malloc_cost(size));
+
+  Slab slab;
+  slab.memory = std::make_unique<std::uint8_t[]>(size);
+  slab.size = size;
+  ugni::gni_return_t rc = ugni::GNI_MemRegister(
+      nic_, reinterpret_cast<std::uint64_t>(slab.memory.get()), size,
+      /*dst_cq=*/nullptr, 0, &slab.handle);
+  if (rc != ugni::GNI_RC_SUCCESS) {
+    throw std::runtime_error("MemPool: slab registration failed");
+  }
+  slabs_.push_back(std::move(slab));
+  stats_.slab_bytes += size;
+  ++stats_.expansions;
+}
+
+void* MemPool::carve(std::size_t bin, std::size_t block) {
+  const std::size_t need = block + kHeaderSize;
+  // Find a slab with room (newest first: older slabs are likely full).
+  for (std::size_t i = slabs_.size(); i-- > 0;) {
+    Slab& slab = slabs_[i];
+    if (slab.size - slab.used >= need) {
+      std::uint8_t* base = slab.memory.get() + slab.used;
+      slab.used += need;
+      Header* h = reinterpret_cast<Header*>(base);
+      h->bin = static_cast<std::uint16_t>(bin);
+      h->slab = static_cast<std::uint16_t>(i);
+      h->magic = kMagicLive;
+      return base + kHeaderSize;
+    }
+  }
+  add_slab(need);
+  return carve(bin, block);
+}
+
+void* MemPool::alloc(std::size_t bytes) {
+  const auto& mc = nic_->domain()->config();
+  ctx().charge(mc.mempool_alloc_ns);
+  std::size_t bin = bin_of(bytes);
+  ++stats_.allocs;
+  ++stats_.outstanding;
+  auto& fl = freelists_[bin];
+  if (!fl.empty()) {
+    void* p = fl.back();
+    fl.pop_back();
+    header_of(p)->magic = kMagicLive;
+    ++stats_.freelist_hits;
+    return p;
+  }
+  return carve(bin, bin_block_size(bin));
+}
+
+void MemPool::free(void* p) {
+  const auto& mc = nic_->domain()->config();
+  ctx().charge(mc.mempool_free_ns);
+  Header* h = header_of(p);
+  assert(h->magic == kMagicLive && "MemPool::free of invalid/double pointer");
+  h->magic = kMagicFree;
+  freelists_[h->bin].push_back(p);
+  ++stats_.frees;
+  --stats_.outstanding;
+}
+
+ugni::gni_mem_handle_t MemPool::handle_of(const void* p) const {
+  const Header* h = header_of(p);
+  assert(h->magic == kMagicLive);
+  return slabs_[h->slab].handle;
+}
+
+bool MemPool::owns(const void* p) const {
+  if (!p) return false;
+  const auto* bytes = static_cast<const std::uint8_t*>(p);
+  for (const auto& slab : slabs_) {
+    if (bytes >= slab.memory.get() + kHeaderSize &&
+        bytes < slab.memory.get() + slab.size) {
+      return header_of(p)->magic == kMagicLive;
+    }
+  }
+  return false;
+}
+
+std::size_t MemPool::block_size(const void* p) const {
+  const Header* h = header_of(p);
+  assert(h->magic == kMagicLive);
+  return bin_block_size(h->bin);
+}
+
+}  // namespace ugnirt::mempool

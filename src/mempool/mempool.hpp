@@ -1,0 +1,106 @@
+// Pre-registered memory pool (paper §IV-B).
+//
+// The CHARM++ runtime owns message allocation, so the uGNI machine layer can
+// pre-allocate and pre-register large slabs and serve every message buffer
+// from them: Tmalloc and Tregister disappear from the large-message send
+// path (paper Equation 1 -> Tcost = 2*Tmempool + Trdma + 2*Tsmsg).
+//
+// Design: power-of-two size classes with per-class free lists, carved out of
+// registered slabs.  When the pool overflows it expands dynamically (paper:
+// "In the case when the memory pool overflows, it can be dynamically
+// expanded") — the expansion pays the full malloc+registration cost once,
+// after which buffers recycle for free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ugni/ugni.hpp"
+
+namespace ugnirt::mempool {
+
+struct MemPoolStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t expansions = 0;     // new slabs registered
+  std::uint64_t slab_bytes = 0;     // total registered pool memory
+  std::uint64_t outstanding = 0;    // live allocations
+  std::uint64_t freelist_hits = 0;  // allocs served without carving
+};
+
+class MemPool {
+ public:
+  /// Creates the pool with one initial slab of `initial_bytes`, registered
+  /// on `nic`.  Charges the initial malloc+registration to the current PE.
+  MemPool(ugni::gni_nic_handle_t nic, std::uint64_t initial_bytes);
+  ~MemPool();
+
+  MemPool(const MemPool&) = delete;
+  MemPool& operator=(const MemPool&) = delete;
+
+  /// Allocate a buffer of at least `bytes`.  O(1) except on expansion.
+  /// Charges mempool_alloc_ns (plus expansion costs when a new slab is
+  /// needed).  Returned memory is always inside a registered region.
+  void* alloc(std::size_t bytes);
+
+  /// Return a buffer to its size-class free list.  Charges mempool_free_ns.
+  void free(void* p);
+
+  /// Registered-memory handle covering `p` (for RDMA descriptors).
+  ugni::gni_mem_handle_t handle_of(const void* p) const;
+
+  /// True when `p` was produced by alloc() and is currently live.
+  bool owns(const void* p) const;
+
+  /// Usable size class of the allocation at `p`.
+  std::size_t block_size(const void* p) const;
+
+  const MemPoolStats& stats() const { return stats_; }
+  ugni::gni_nic_handle_t nic() const { return nic_; }
+
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kMaxBlock = 64ull << 20;  // 64 MiB
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::uint8_t[]> memory;
+    std::size_t size = 0;
+    std::size_t used = 0;  // bump-carve offset
+    ugni::gni_mem_handle_t handle{};
+  };
+
+  // Block header stamped just before every returned pointer.
+  struct Header {
+    std::uint32_t magic = 0;
+    std::uint16_t bin = 0;
+    std::uint16_t slab = 0;
+  };
+  static constexpr std::size_t kHeaderSize = 16;  // keep payload aligned
+  static constexpr std::uint32_t kMagicLive = 0x9D00DA11u;
+  static constexpr std::uint32_t kMagicFree = 0xFEE1DEADu;
+
+  static std::size_t bin_of(std::size_t bytes);
+  static std::size_t bin_block_size(std::size_t bin);
+
+  /// Carve a block of `block` bytes for `bin`, expanding if needed.
+  void* carve(std::size_t bin, std::size_t block);
+  void add_slab(std::size_t min_bytes);
+
+  Header* header_of(void* p) const {
+    return reinterpret_cast<Header*>(static_cast<std::uint8_t*>(p) -
+                                     kHeaderSize);
+  }
+  const Header* header_of(const void* p) const {
+    return reinterpret_cast<const Header*>(
+        static_cast<const std::uint8_t*>(p) - kHeaderSize);
+  }
+
+  ugni::gni_nic_handle_t nic_;
+  std::vector<Slab> slabs_;
+  std::vector<std::vector<void*>> freelists_;  // per size class
+  MemPoolStats stats_;
+};
+
+}  // namespace ugnirt::mempool

@@ -1,0 +1,82 @@
+// Execution context of a simulated processing element (PE).
+//
+// CHARM++ handlers run to completion, so while a PE executes, virtual time
+// advances through a *cursor* held in its Context: runtime code calls
+// charge() for modeled CPU costs (memory registration, memcpy, MPI library
+// overhead, ...) and application code calls charge_app() for its modeled
+// compute.  The uGNI/MPI emulation layers find the caller's context through
+// sim::current() — mirroring how the real APIs implicitly run on the calling
+// core — which keeps the emulated signatures close to Cray's.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace ugnirt::sim {
+
+/// What a slice of charged time represents; consumed by the tracer to build
+/// the paper's Figure 12 style utilization profiles.
+enum class CostKind : std::uint8_t {
+  kOverhead = 0,  // runtime/communication bookkeeping (black in Projections)
+  kApp = 1,       // useful application compute (yellow in Projections)
+};
+
+class Context {
+ public:
+  Context(Engine& engine, int pe)
+      : engine_(&engine), pe_(pe), cursor_(engine.now()) {}
+
+  Engine& engine() const { return *engine_; }
+  int pe() const { return pe_; }
+
+  /// Current local virtual time of this PE (>= engine time while running).
+  SimTime now() const { return cursor_; }
+
+  /// Reset the cursor at the start of a scheduler step.
+  void set_now(SimTime t) { cursor_ = t; }
+
+  /// Advance the cursor by a modeled runtime cost.
+  void charge(SimTime ns);
+
+  /// Advance the cursor by modeled application compute.
+  void charge_app(SimTime ns) {
+    assert(ns >= 0);
+    cursor_ += ns;
+    app_total_ += ns;
+  }
+
+  /// Jump the cursor forward to `t` (used by blocking waits: the PE spins
+  /// until a completion whose virtual timestamp is already known).
+  void wait_until(SimTime t);
+
+  SimTime overhead_total() const { return overhead_total_; }
+  SimTime app_total() const { return app_total_; }
+
+ private:
+  Engine* engine_;
+  int pe_;
+  SimTime cursor_;
+  SimTime overhead_total_ = 0;
+  SimTime app_total_ = 0;
+};
+
+/// The context of the PE currently executing, or nullptr outside a step.
+/// Single-threaded simulation, so a plain global suffices.
+Context* current();
+
+/// RAII guard installing a context as current for the duration of a step.
+class ScopedContext {
+ public:
+  explicit ScopedContext(Context& ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Context* prev_;
+};
+
+}  // namespace ugnirt::sim

@@ -1,0 +1,95 @@
+// Sequential deterministic discrete-event engine.
+//
+// Everything in the reproduction runs on virtual time: simulated PEs,
+// the Gemini NIC model, and the runtime protocol state machines schedule
+// callbacks here.  Events with equal timestamps fire in scheduling order
+// (a monotonically increasing sequence number breaks ties), which makes
+// every run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ugnirt::sim {
+
+class Engine;
+
+/// Handle to a scheduled event; allows cancellation (e.g. timeouts that are
+/// disarmed when the awaited completion arrives first).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the callback from running.  Safe to call multiple times and
+  /// after the event fired (no-op).
+  void cancel();
+
+  bool valid() const { return !token_.expired(); }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::weak_ptr<bool> token) : token_(std::move(token)) {}
+  std::weak_ptr<bool> token_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `when` (clamped to now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` nanoseconds.
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the event queue drains or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Run until virtual time exceeds `until` (events at exactly `until` run).
+  std::uint64_t run_until(SimTime until);
+
+  /// Request run()/run_until() to return after the current event.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ugnirt::sim

@@ -1,0 +1,99 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace ugnirt::trace {
+
+void Tracer::record(int /*pe*/, SimTime t0, SimTime t1, SpanKind kind) {
+  assert(!finalized_);
+  if (t1 <= t0) return;
+  auto& series = kind == SpanKind::kApp ? app_ : overhead_;
+  std::size_t first = static_cast<std::size_t>(t0 / bin_ns_);
+  std::size_t last = static_cast<std::size_t>((t1 - 1) / bin_ns_);
+  if (last >= series.size()) {
+    app_.resize(last + 1, 0.0);
+    overhead_.resize(last + 1, 0.0);
+  }
+  auto& target = kind == SpanKind::kApp ? app_ : overhead_;
+  for (std::size_t b = first; b <= last; ++b) {
+    SimTime bin_start = static_cast<SimTime>(b) * bin_ns_;
+    SimTime lo = std::max(t0, bin_start);
+    SimTime hi = std::min(t1, bin_start + bin_ns_);
+    target[b] += static_cast<double>(hi - lo);
+  }
+}
+
+double Tracer::bin_capacity(std::size_t bin) const {
+  SimTime bin_start = static_cast<SimTime>(bin) * bin_ns_;
+  SimTime width = std::min(bin_ns_, std::max<SimTime>(end_ - bin_start, 0));
+  return static_cast<double>(width) * pes_;
+}
+
+void Tracer::finalize(SimTime end) {
+  end_ = end;
+  std::size_t nbins = end > 0
+      ? static_cast<std::size_t>((end + bin_ns_ - 1) / bin_ns_)
+      : 0;
+  app_.resize(std::max(app_.size(), nbins), 0.0);
+  overhead_.resize(app_.size(), 0.0);
+  idle_.assign(app_.size(), 0.0);
+  for (std::size_t b = 0; b < idle_.size(); ++b) {
+    idle_[b] = std::max(0.0, bin_capacity(b) - app_[b] - overhead_[b]);
+  }
+  finalized_ = true;
+}
+
+double Tracer::app_pct(std::size_t bin) const {
+  double cap = bin_capacity(bin);
+  return cap > 0 ? 100.0 * app_.at(bin) / cap : 0.0;
+}
+
+double Tracer::overhead_pct(std::size_t bin) const {
+  double cap = bin_capacity(bin);
+  return cap > 0 ? 100.0 * overhead_.at(bin) / cap : 0.0;
+}
+
+double Tracer::idle_pct(std::size_t bin) const {
+  double cap = bin_capacity(bin);
+  return cap > 0 ? 100.0 * idle_.at(bin) / cap : 0.0;
+}
+
+namespace {
+double safe_pct(double part, double whole) {
+  return whole > 0 ? 100.0 * part / whole : 0.0;
+}
+}  // namespace
+
+double Tracer::total_app_pct() const {
+  double total = static_cast<double>(end_) * pes_;
+  double app = 0;
+  for (double v : app_) app += v;
+  return safe_pct(app, total);
+}
+
+double Tracer::total_overhead_pct() const {
+  double total = static_cast<double>(end_) * pes_;
+  double ov = 0;
+  for (double v : overhead_) ov += v;
+  return safe_pct(ov, total);
+}
+
+double Tracer::total_idle_pct() const {
+  double total = static_cast<double>(end_) * pes_;
+  double idle = 0;
+  for (double v : idle_) idle += v;
+  return safe_pct(idle, total);
+}
+
+void Tracer::write_csv(std::ostream& out) const {
+  out << "time_ms,app_pct,overhead_pct,idle_pct\n";
+  for (std::size_t b = 0; b < bins(); ++b) {
+    double t_ms = static_cast<double>(b) * static_cast<double>(bin_ns_) / 1e6;
+    out << t_ms << ',' << app_pct(b) << ',' << overhead_pct(b) << ','
+        << idle_pct(b) << '\n';
+  }
+}
+
+}  // namespace ugnirt::trace

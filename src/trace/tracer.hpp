@@ -1,0 +1,72 @@
+// Projections-lite: utilization tracing for the paper's Figure 12.
+//
+// The real paper uses the Projections tool to render per-time-interval CPU
+// utilization split into useful work (yellow), idle (white) and runtime
+// overhead (black).  This tracer accumulates exactly those three series
+// into fixed-width virtual-time bins across all PEs and dumps them as CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ugnirt::trace {
+
+enum class SpanKind : std::uint8_t {
+  kApp = 0,       // useful application compute
+  kOverhead = 1,  // runtime + communication bookkeeping
+};
+
+class Tracer {
+ public:
+  /// `bin_ns` is the profile resolution (Projections interval size).
+  explicit Tracer(SimTime bin_ns = 1'000'000) : bin_ns_(bin_ns) {}
+
+  void set_pe_count(int pes) { pes_ = pes; }
+
+  /// Record that `pe` spent [t0, t1) doing `kind` work.  Spans may cross
+  /// bin boundaries; time is apportioned to each overlapped bin.
+  void record(int pe, SimTime t0, SimTime t1, SpanKind kind);
+
+  /// Close the trace at `end`: everything not recorded as app/overhead in
+  /// [0, end) across `pes` PEs is idle time.
+  void finalize(SimTime end);
+
+  std::size_t bins() const { return app_.size(); }
+  SimTime bin_ns() const { return bin_ns_; }
+  SimTime end() const { return end_; }
+
+  /// Per-bin totals in ns (summed over PEs).
+  double app_ns(std::size_t bin) const { return app_.at(bin); }
+  double overhead_ns(std::size_t bin) const { return overhead_.at(bin); }
+  double idle_ns(std::size_t bin) const { return idle_.at(bin); }
+
+  /// Percentages of total PE-time per bin (0..100, stack to 100).
+  double app_pct(std::size_t bin) const;
+  double overhead_pct(std::size_t bin) const;
+  double idle_pct(std::size_t bin) const;
+
+  /// Whole-run aggregates.
+  double total_app_pct() const;
+  double total_overhead_pct() const;
+  double total_idle_pct() const;
+
+  /// "time_ms,app_pct,overhead_pct,idle_pct" rows (Fig 12 as data).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  double bin_capacity(std::size_t bin) const;
+
+  SimTime bin_ns_;
+  int pes_ = 1;
+  SimTime end_ = 0;
+  bool finalized_ = false;
+  std::vector<double> app_;
+  std::vector<double> overhead_;
+  std::vector<double> idle_;
+};
+
+}  // namespace ugnirt::trace

@@ -1,0 +1,118 @@
+// DMAPP: Cray's one-sided library for logically-shared memory (paper
+// §II-A).
+//
+// "DMAPP is a communication library which supports a logically shared,
+// distributed memory programming model.  It is a good match for
+// implementing parallel programming models such as SHMEM, and PGAS
+// languages."  The paper targets uGNI instead because CHARM++ is
+// message-passing in nature; this thin layer exists to demonstrate (and
+// test) that the simulated Gemini supports the *other* programming model
+// too, the way the real ASIC did.
+//
+// Emulated subset, SHMEM-flavored:
+//   * a symmetric heap: every attached PE allocates the same-size
+//     registered segment, and remote addresses are symmetric offsets;
+//   * blocking dmapp_put / dmapp_get (FMA under the hood for short
+//     transfers, BTE beyond the paper's crossover);
+//   * non-blocking dmapp_put_nbi + dmapp_gsync_wait (gather-style fence);
+//   * dmapp_afadd_qw: atomic fetch-add on a remote 64-bit word.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ugni/ugni.hpp"
+
+namespace ugnirt::dmapp {
+
+enum dmapp_return_t : int {
+  DMAPP_RC_SUCCESS = 0,
+  DMAPP_RC_INVALID_PARAM = 1,
+  DMAPP_RC_NO_SPACE = 2,
+  DMAPP_RC_NOT_DONE = 3,
+};
+
+class DmappJob;
+using dmapp_jobhandle_t = DmappJob*;
+
+/// One PE's view of the DMAPP job.
+class DmappPe {
+ public:
+  int pe() const { return pe_; }
+  /// Base of this PE's symmetric-heap segment.
+  void* sheap_base() const { return sheap_.get() ? sheap_.get() : nullptr; }
+  std::uint64_t sheap_bytes() const { return sheap_bytes_; }
+
+ private:
+  friend class DmappJob;
+  int pe_ = -1;
+  ugni::gni_nic_handle_t nic = nullptr;
+  ugni::gni_cq_handle_t cq = nullptr;
+  std::unique_ptr<std::uint8_t[]> sheap_;
+  std::uint64_t sheap_bytes_ = 0;
+  std::uint64_t sheap_used_ = 0;
+  ugni::gni_mem_handle_t sheap_hndl_{};
+  std::vector<ugni::gni_ep_handle_t> eps;  // lazily bound per peer
+  SimTime nbi_fence_ = 0;  // completion horizon of outstanding NBI puts
+};
+
+/// The DMAPP job: `pes` PEs each with a `sheap_bytes` symmetric heap.
+class DmappJob {
+ public:
+  /// Attach all PEs up front (dmapp_init across the job).  Each PE's
+  /// segment is allocated and registered, charged to the calling context.
+  DmappJob(ugni::Domain& domain, int pes, std::uint64_t sheap_bytes,
+           int inst_base = 1000);
+  ~DmappJob();
+  DmappJob(const DmappJob&) = delete;
+  DmappJob& operator=(const DmappJob&) = delete;
+
+  int pes() const { return static_cast<int>(pes_.size()); }
+  DmappPe& pe(int i) { return *pes_[static_cast<std::size_t>(i)]; }
+
+  /// Symmetric allocation: reserves `bytes` at the same offset on every
+  /// PE; returns the offset (use addr_of to translate per PE).
+  /// DMAPP_RC_NO_SPACE when any segment is exhausted.
+  dmapp_return_t sheap_malloc(std::uint64_t bytes, std::uint64_t* offset_out);
+
+  void* addr_of(int pe, std::uint64_t offset) {
+    return pes_[static_cast<std::size_t>(pe)]->sheap_.get() + offset;
+  }
+
+  // ---- data movement (run inside the calling PE's sim context) ----
+
+  /// Blocking put of `bytes` from local memory into `target_pe`'s
+  /// symmetric heap at `target_off`.
+  dmapp_return_t put(int my_pe, int target_pe, std::uint64_t target_off,
+                     const void* source, std::uint64_t bytes);
+
+  /// Blocking get from `source_pe`'s symmetric heap into local memory.
+  dmapp_return_t get(int my_pe, int source_pe, std::uint64_t source_off,
+                     void* target, std::uint64_t bytes);
+
+  /// Non-blocking implicit put: returns after initiation; completion is
+  /// awaited by gsync_wait.
+  dmapp_return_t put_nbi(int my_pe, int target_pe, std::uint64_t target_off,
+                         const void* source, std::uint64_t bytes);
+
+  /// Fence: block until every outstanding NBI put from `my_pe` completed.
+  dmapp_return_t gsync_wait(int my_pe);
+
+  /// Atomic fetch-add on a 64-bit word in `target_pe`'s symmetric heap;
+  /// the previous value lands in *fetched.
+  dmapp_return_t afadd_qw(int my_pe, int target_pe, std::uint64_t target_off,
+                          std::int64_t addend, std::int64_t* fetched);
+
+ private:
+  ugni::gni_ep_handle_t ep_to(DmappPe& me, int target_pe);
+  dmapp_return_t xfer(int my_pe, int remote_pe, std::uint64_t remote_off,
+                      void* local, std::uint64_t bytes, bool is_get,
+                      bool blocking);
+
+  ugni::Domain* domain_;
+  std::vector<std::unique_ptr<DmappPe>> pes_;
+  std::uint64_t sheap_cursor_ = 0;
+};
+
+}  // namespace ugnirt::dmapp

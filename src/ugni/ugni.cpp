@@ -1,0 +1,508 @@
+#include "ugni/ugni.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ugni/msgq.hpp"
+
+namespace ugnirt::ugni {
+
+namespace {
+
+/// Per-message system header bytes on the wire (SMSG prepends routing and
+/// sequence metadata to every mailbox write).
+constexpr std::uint32_t kSmsgSysHeader = 16;
+
+sim::Context& ctx() {
+  sim::Context* c = sim::current();
+  assert(c && "uGNI calls must run inside a simulated PE context");
+  return *c;
+}
+
+}  // namespace
+
+const char* gni_err_str(gni_return_t rc) {
+  switch (rc) {
+    case GNI_RC_SUCCESS:
+      return "GNI_RC_SUCCESS";
+    case GNI_RC_NOT_DONE:
+      return "GNI_RC_NOT_DONE";
+    case GNI_RC_INVALID_PARAM:
+      return "GNI_RC_INVALID_PARAM";
+    case GNI_RC_ERROR_RESOURCE:
+      return "GNI_RC_ERROR_RESOURCE";
+    case GNI_RC_ILLEGAL_OP:
+      return "GNI_RC_ILLEGAL_OP";
+    case GNI_RC_PERMISSION_ERROR:
+      return "GNI_RC_PERMISSION_ERROR";
+    case GNI_RC_INVALID_STATE:
+      return "GNI_RC_INVALID_STATE";
+    case GNI_RC_TRANSACTION_ERROR:
+      return "GNI_RC_TRANSACTION_ERROR";
+    case GNI_RC_SIZE_ERROR:
+      return "GNI_RC_SIZE_ERROR";
+    case GNI_RC_ALIGNMENT_ERROR:
+      return "GNI_RC_ALIGNMENT_ERROR";
+  }
+  return "GNI_RC_?";
+}
+
+// ---------------------------------------------------------------------------
+// Cq
+// ---------------------------------------------------------------------------
+
+void Cq::push(SimTime at, gni_cq_entry_t entry) {
+  if (entries_.size() >= capacity_) {
+    // Real hardware sets an overrun bit and drops; runtimes must size CQs.
+    overrun_ = true;
+    return;
+  }
+  // Insert keeping arrival order (usually appends; out-of-order arrivals
+  // happen when a short transfer overtakes a long one).
+  auto it = entries_.end();
+  while (it != entries_.begin() && std::prev(it)->at > at) --it;
+  entries_.insert(it, Timed{at, entry});
+  if (notify_) {
+    nic_->domain()->engine().schedule_at(
+        at, [this, at] { notify_(at); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Domain / Nic basics
+// ---------------------------------------------------------------------------
+
+Domain::~Domain() {
+  for (auto& nic : nics_) {
+    delete nic->msgq();
+    nic->set_msgq(nullptr);
+  }
+}
+
+Nic* Domain::nic_by_inst(std::int32_t inst_id) const {
+  for (const auto& nic : nics_) {
+    if (nic->inst_id() == inst_id) return nic.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t Domain::total_mailbox_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& nic : nics_) total += nic->mailbox_bytes();
+  return total;
+}
+
+Ep* Nic::ep_for_peer(std::int32_t remote_inst) const {
+  auto it = peer_eps_.find(remote_inst);
+  return it == peer_eps_.end() ? nullptr : it->second;
+}
+
+bool Nic::handle_valid(const gni_mem_handle_t& h, std::uint64_t addr,
+                       std::uint64_t len) const {
+  const Region* r = region_of(h);
+  if (!r || !r->valid) return false;
+  return addr >= r->addr && addr + len <= r->addr + r->length;
+}
+
+Nic::Region* Nic::region_of(const gni_mem_handle_t& h) {
+  return const_cast<Region*>(
+      static_cast<const Nic*>(this)->region_of(h));
+}
+
+const Nic::Region* Nic::region_of(const gni_mem_handle_t& h) const {
+  std::uint32_t owner = static_cast<std::uint32_t>(h.qword1 >> 32);
+  std::uint32_t idx = static_cast<std::uint32_t>(h.qword1 & 0xffffffffu);
+  if (owner != static_cast<std::uint32_t>(inst_id_)) return nullptr;
+  if (idx == 0 || idx > regions_.size()) return nullptr;
+  const Region& r = regions_[idx - 1];
+  if (r.generation != static_cast<std::uint32_t>(h.qword2)) return nullptr;
+  return &r;
+}
+
+// ---------------------------------------------------------------------------
+// API
+// ---------------------------------------------------------------------------
+
+gni_return_t GNI_CdmAttach(Domain* domain, std::int32_t inst_id, int node,
+                           gni_nic_handle_t* nic_out) {
+  if (!domain || !nic_out || inst_id < 0) return GNI_RC_INVALID_PARAM;
+  if (node < 0 || node >= domain->network().torus().nodes()) {
+    return GNI_RC_INVALID_PARAM;
+  }
+  if (domain->nic_by_inst(inst_id)) return GNI_RC_INVALID_STATE;
+  domain->nics_.push_back(std::make_unique<Nic>(domain, inst_id, node));
+  *nic_out = domain->nics_.back().get();
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_CqCreate(gni_nic_handle_t nic, std::uint32_t entry_count,
+                          gni_cq_handle_t* cq_out) {
+  if (!nic || !cq_out || entry_count == 0) return GNI_RC_INVALID_PARAM;
+  nic->domain()->cqs_.push_back(std::make_unique<Cq>(nic, entry_count));
+  *cq_out = nic->domain()->cqs_.back().get();
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_CqDestroy(gni_cq_handle_t cq) {
+  if (!cq) return GNI_RC_INVALID_PARAM;
+  cq->set_notify(nullptr);
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_CqGetEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out) {
+  if (!cq || !event_out) return GNI_RC_INVALID_PARAM;
+  sim::Context& c = ctx();
+  const auto& mc = cq->nic()->domain()->config();
+  c.charge(mc.cq_poll_ns);
+  if (cq->overrun_) return GNI_RC_ERROR_RESOURCE;
+  if (cq->entries_.empty() || cq->entries_.front().at > c.now()) {
+    return GNI_RC_NOT_DONE;
+  }
+  c.charge(mc.cq_event_ns);
+  *event_out = cq->entries_.front().entry;
+  cq->entries_.pop_front();
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_CqWaitEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out) {
+  if (!cq || !event_out) return GNI_RC_INVALID_PARAM;
+  sim::Context& c = ctx();
+  if (cq->overrun_) return GNI_RC_ERROR_RESOURCE;
+  if (cq->entries_.empty()) return GNI_RC_NOT_DONE;
+  // Spin (in virtual time) until the in-flight event lands.
+  c.wait_until(cq->entries_.front().at);
+  return GNI_CqGetEvent(cq, event_out);
+}
+
+gni_return_t GNI_MemRegister(gni_nic_handle_t nic, std::uint64_t address,
+                             std::uint64_t length, gni_cq_handle_t dst_cq,
+                             std::uint32_t /*flags*/,
+                             gni_mem_handle_t* hndl_out) {
+  if (!nic || !hndl_out || length == 0 || address == 0) {
+    return GNI_RC_INVALID_PARAM;
+  }
+  sim::Context& c = ctx();
+  const auto& mc = nic->domain()->config();
+  c.charge(mc.reg_cost(length));
+  nic->regions_.push_back(Nic::Region{
+      address, length, static_cast<std::uint32_t>(nic->regions_.size()) + 7u,
+      true, dst_cq});
+  nic->registered_bytes_ += length;
+  ++nic->n_active_regions_;
+  hndl_out->qword1 =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(nic->inst_id()))
+       << 32) |
+      static_cast<std::uint64_t>(nic->regions_.size());
+  hndl_out->qword2 = nic->regions_.back().generation;
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_MemDeregister(gni_nic_handle_t nic, gni_mem_handle_t* hndl) {
+  if (!nic || !hndl) return GNI_RC_INVALID_PARAM;
+  Nic::Region* r = nic->region_of(*hndl);
+  if (!r || !r->valid) return GNI_RC_INVALID_PARAM;
+  sim::Context& c = ctx();
+  const auto& mc = nic->domain()->config();
+  c.charge(mc.dereg_cost(r->length));
+  r->valid = false;
+  ++r->generation;  // future uses of the stale handle fail validation
+  nic->registered_bytes_ -= r->length;
+  --nic->n_active_regions_;
+  hndl->qword1 = 0;
+  hndl->qword2 = 0;
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_EpCreate(gni_nic_handle_t nic, gni_cq_handle_t tx_cq,
+                          gni_ep_handle_t* ep_out) {
+  if (!nic || !ep_out) return GNI_RC_INVALID_PARAM;
+  nic->domain()->eps_.push_back(std::make_unique<Ep>(nic, tx_cq));
+  *ep_out = nic->domain()->eps_.back().get();
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_EpBind(gni_ep_handle_t ep, std::int32_t remote_inst_id) {
+  if (!ep || remote_inst_id < 0) return GNI_RC_INVALID_PARAM;
+  if (ep->bound()) return GNI_RC_INVALID_STATE;
+  ep->remote_inst_ = remote_inst_id;
+  ep->nic_->peer_eps_[remote_inst_id] = ep;
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_EpDestroy(gni_ep_handle_t ep) {
+  if (!ep) return GNI_RC_INVALID_PARAM;
+  if (ep->bound()) ep->nic_->peer_eps_.erase(ep->remote_inst_);
+  ep->remote_inst_ = -1;
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_SmsgInit(gni_ep_handle_t ep, const gni_smsg_attr_t& local,
+                          const gni_smsg_attr_t& remote) {
+  if (!ep || !ep->bound()) return GNI_RC_INVALID_PARAM;
+  if (ep->smsg_.initialized) return GNI_RC_INVALID_STATE;
+  if (local.msg_maxsize == 0 || local.mbox_maxcredit == 0) {
+    return GNI_RC_INVALID_PARAM;
+  }
+  ep->smsg_.initialized = true;
+  ep->smsg_.local = local;
+  ep->smsg_.remote = remote;
+  ep->smsg_.credits = remote.mbox_maxcredit;
+  // The mailbox for the *local* receive side is allocated and registered on
+  // this NIC; memory grows linearly with connected peers (paper §II-B).
+  ep->nic_->mailbox_bytes_ +=
+      static_cast<std::uint64_t>(local.mbox_maxcredit) *
+      (local.msg_maxsize + kSmsgSysHeader);
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t ep, const void* header,
+                              std::uint32_t header_length, const void* data,
+                              std::uint32_t data_length, std::uint32_t msg_id,
+                              std::uint8_t tag) {
+  (void)msg_id;
+  if (!ep || !ep->bound() || !ep->smsg_.initialized) {
+    return GNI_RC_INVALID_PARAM;
+  }
+  if ((header_length > 0 && !header) || (data_length > 0 && !data)) {
+    return GNI_RC_INVALID_PARAM;
+  }
+  const std::uint32_t total = header_length + data_length;
+  if (total > ep->smsg_.remote.msg_maxsize) return GNI_RC_SIZE_ERROR;
+  if (ep->smsg_.credits == 0) return GNI_RC_NOT_DONE;
+
+  Nic* nic = ep->nic_;
+  Domain* dom = nic->domain();
+  Nic* remote = dom->nic_by_inst(ep->remote_inst_);
+  if (!remote) return GNI_RC_INVALID_PARAM;
+  Ep* remote_ep = remote->ep_for_peer(nic->inst_id());
+  if (!remote_ep || !remote_ep->smsg_.initialized) {
+    return GNI_RC_INVALID_STATE;  // peer has not set up its mailbox
+  }
+
+  sim::Context& c = ctx();
+  --ep->smsg_.credits;
+
+  gemini::TransferRequest req;
+  req.mech = gemini::Mechanism::kSmsg;
+  req.initiator_node = nic->node();
+  req.remote_node = remote->node();
+  req.bytes = total + kSmsgSysHeader;
+  req.issue = c.now();
+  gemini::TransferTimes t = dom->network().transfer(req);
+  c.wait_until(t.cpu_done);
+
+  // SMSG is a FIFO channel: a message posted later can never become
+  // visible before an earlier one, even if the network model found it a
+  // faster slot.
+  SimTime arrival =
+      std::max(t.data_arrival, remote_ep->smsg_.last_arrival);
+  remote_ep->smsg_.last_arrival = arrival;
+
+  // Deposit the message bytes in the peer's mailbox (visible at arrival).
+  SmsgChannelState::Msg msg;
+  msg.bytes.resize(total);
+  if (header_length) std::memcpy(msg.bytes.data(), header, header_length);
+  if (data_length) {
+    std::memcpy(msg.bytes.data() + header_length, data, data_length);
+  }
+  msg.tag = tag;
+  msg.at = arrival;
+  remote_ep->smsg_.rx.push_back(std::move(msg));
+
+  if (remote->smsg_rx_cq_) {
+    gni_cq_entry_t entry;
+    entry.type = CqEventType::kSmsg;
+    entry.data = 0;
+    entry.source_inst = nic->inst_id();
+    remote->smsg_rx_cq_->push(arrival, entry);
+  }
+  return GNI_RC_SUCCESS;
+}
+
+gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t ep, void** data_out,
+                                 std::uint8_t* tag_out) {
+  if (!ep || !data_out || !tag_out) return GNI_RC_INVALID_PARAM;
+  if (!ep->smsg_.initialized) return GNI_RC_INVALID_PARAM;
+  sim::Context& c = ctx();
+  for (auto& msg : ep->smsg_.rx) {
+    if (msg.delivered) continue;
+    if (msg.at > c.now()) break;  // not yet arrived in virtual time
+    msg.delivered = true;
+    *data_out = msg.bytes.data();
+    *tag_out = msg.tag;
+    return GNI_RC_SUCCESS;
+  }
+  return GNI_RC_NOT_DONE;
+}
+
+gni_return_t GNI_SmsgRelease(gni_ep_handle_t ep) {
+  if (!ep || !ep->smsg_.initialized) return GNI_RC_INVALID_PARAM;
+  auto& rx = ep->smsg_.rx;
+  if (rx.empty() || !rx.front().delivered) return GNI_RC_INVALID_STATE;
+  rx.pop_front();
+
+  // Return one credit to the sender after a wire delay (piggybacked on the
+  // next reverse-direction traffic in real SMSG; modeled as a small event).
+  Nic* nic = ep->nic_;
+  Domain* dom = nic->domain();
+  Nic* remote = dom->nic_by_inst(ep->remote_inst_);
+  if (remote) {
+    Ep* sender_ep = remote->ep_for_peer(nic->inst_id());
+    if (sender_ep) {
+      SimTime prop = static_cast<SimTime>(dom->network().hops(
+                         nic->node(), remote->node())) *
+                     dom->config().hop_ns;
+      SimTime at = ctx().now() + prop;
+      dom->engine().schedule_at(at, [sender_ep, remote, at] {
+        ++sender_ep->smsg_.credits;
+        if (remote->credit_notify_) remote->credit_notify_(at);
+      });
+    }
+  }
+  return GNI_RC_SUCCESS;
+}
+
+namespace detail {
+
+gni_return_t post_transaction(Ep* ep, gni_post_descriptor_t* desc,
+                              bool is_rdma) {
+  if (!ep || !desc || !ep->bound()) return GNI_RC_INVALID_PARAM;
+  Nic* nic = ep->nic();
+  Domain* dom = nic->domain();
+  Nic* remote = dom->nic_by_inst(ep->remote_inst());
+  if (!remote) return GNI_RC_INVALID_PARAM;
+
+  const bool is_amo = desc->type == GNI_POST_AMO;
+  if (is_amo && is_rdma) return GNI_RC_ILLEGAL_OP;  // AMOs are FMA-only
+  if (is_amo && desc->length != 8) return GNI_RC_ALIGNMENT_ERROR;
+  if (!is_amo && desc->length == 0) return GNI_RC_INVALID_PARAM;
+
+  const bool rdma_type = desc->type == GNI_POST_RDMA_PUT ||
+                         desc->type == GNI_POST_RDMA_GET;
+  if (rdma_type != is_rdma) return GNI_RC_INVALID_PARAM;
+
+  // Both buffers must be registered (the defining constraint of the paper's
+  // protocol design: memory info has to be exchanged before a transaction).
+  if (!is_amo &&
+      !nic->handle_valid(desc->local_mem_hndl, desc->local_addr,
+                         desc->length)) {
+    return GNI_RC_PERMISSION_ERROR;
+  }
+  if (!remote->handle_valid(desc->remote_mem_hndl, desc->remote_addr,
+                            is_amo ? 8 : desc->length)) {
+    return GNI_RC_PERMISSION_ERROR;
+  }
+
+  sim::Context& c = ctx();
+  gemini::TransferRequest req;
+  switch (desc->type) {
+    case GNI_POST_FMA_PUT:
+      req.mech = gemini::Mechanism::kFmaPut;
+      break;
+    case GNI_POST_FMA_GET:
+      req.mech = gemini::Mechanism::kFmaGet;
+      break;
+    case GNI_POST_RDMA_PUT:
+      req.mech = gemini::Mechanism::kBtePut;
+      break;
+    case GNI_POST_RDMA_GET:
+      req.mech = gemini::Mechanism::kBteGet;
+      break;
+    case GNI_POST_AMO:
+      req.mech = gemini::Mechanism::kFmaGet;  // request/response round trip
+      break;
+  }
+  req.initiator_node = nic->node();
+  req.remote_node = remote->node();
+  req.bytes = is_amo ? 8 : desc->length;
+  req.issue = c.now();
+  gemini::TransferTimes t = dom->network().transfer(req);
+  c.wait_until(t.cpu_done);
+
+  // Perform the actual data movement.  Buffers are stable while a
+  // transaction is in flight (runtime protocol contract), so the copy can
+  // execute now even though it becomes *observable* only at completion.
+  const bool is_get =
+      desc->type == GNI_POST_FMA_GET || desc->type == GNI_POST_RDMA_GET;
+  if (is_amo) {
+    auto* target = reinterpret_cast<std::uint64_t*>(desc->remote_addr);
+    std::uint64_t old = *target;
+    switch (desc->amo_cmd) {
+      case GNI_FMA_ATOMIC_FADD:
+        *target = old + desc->first_operand;
+        break;
+      case GNI_FMA_ATOMIC_CSWAP:
+        if (old == desc->first_operand) *target = desc->second_operand;
+        break;
+      case GNI_FMA_ATOMIC_AND:
+        *target = old & desc->first_operand;
+        break;
+      case GNI_FMA_ATOMIC_OR:
+        *target = old | desc->first_operand;
+        break;
+    }
+    if (desc->local_addr != 0) {
+      *reinterpret_cast<std::uint64_t*>(desc->local_addr) = old;
+    }
+  } else if (is_get) {
+    std::memcpy(reinterpret_cast<void*>(desc->local_addr),
+                reinterpret_cast<const void*>(desc->remote_addr),
+                desc->length);
+  } else {
+    std::memcpy(reinterpret_cast<void*>(desc->remote_addr),
+                reinterpret_cast<const void*>(desc->local_addr),
+                desc->length);
+  }
+
+  // Local completion event.
+  if ((desc->cq_mode & GNI_CQMODE_LOCAL_EVENT) && ep->tx_cq()) {
+    std::uint64_t internal = nic->next_internal_post_id_++;
+    nic->completed_.emplace_back(internal, desc);
+    gni_cq_entry_t entry;
+    entry.type = CqEventType::kPostLocal;
+    entry.data = internal;
+    entry.source_inst = nic->inst_id();
+    ep->tx_cq()->push(t.initiator_complete, entry);
+  }
+
+  // Remote event, delivered to the dst_cq of the remote registration.
+  if (desc->cq_mode & GNI_CQMODE_REMOTE_EVENT) {
+    if (auto* region = remote->region_of(desc->remote_mem_hndl);
+        region && region->dst_cq) {
+      gni_cq_entry_t entry;
+      entry.type = CqEventType::kPostRemote;
+      entry.data = desc->post_id;
+      entry.source_inst = nic->inst_id();
+      region->dst_cq->push(t.data_arrival, entry);
+    }
+  }
+  return GNI_RC_SUCCESS;
+}
+
+}  // namespace detail
+
+gni_return_t GNI_PostFma(gni_ep_handle_t ep, gni_post_descriptor_t* desc) {
+  return detail::post_transaction(ep, desc, /*is_rdma=*/false);
+}
+
+gni_return_t GNI_PostRdma(gni_ep_handle_t ep, gni_post_descriptor_t* desc) {
+  return detail::post_transaction(ep, desc, /*is_rdma=*/true);
+}
+
+gni_return_t GNI_GetCompleted(gni_cq_handle_t cq, const gni_cq_entry_t& event,
+                              gni_post_descriptor_t** desc_out) {
+  if (!cq || !desc_out) return GNI_RC_INVALID_PARAM;
+  if (event.type != CqEventType::kPostLocal) return GNI_RC_INVALID_PARAM;
+  Nic* nic = cq->nic();
+  auto& done = nic->completed_;
+  for (auto it = done.begin(); it != done.end(); ++it) {
+    if (it->first == event.data) {
+      *desc_out = it->second;
+      done.erase(it);
+      return GNI_RC_SUCCESS;
+    }
+  }
+  return GNI_RC_INVALID_PARAM;
+}
+
+}  // namespace ugnirt::ugni

@@ -1,0 +1,420 @@
+// Emulation of Cray's user-level Generic Network Interface (uGNI).
+//
+// The API surface mirrors the subset of "Using the GNI and DMAPP APIs"
+// (Cray S-2446) that the paper's machine layer depends on (§II-B):
+//
+//   GNI_CqCreate / GNI_CqGetEvent            completion queues
+//   GNI_MemRegister / GNI_MemDeregister      registration with real handles
+//   GNI_EpCreate / GNI_EpBind                endpoints
+//   GNI_SmsgInit / GNI_SmsgSendWTag /        mailbox-based short messages
+//     GNI_SmsgGetNextWTag / GNI_SmsgRelease
+//   GNI_PostFma / GNI_PostRdma               one-sided PUT/GET/AMO
+//   GNI_GetCompleted                         retrieve a finished descriptor
+//
+// Semantics preserved from the real device:
+//   * memory must be registered before it can be the target of FMA/BTE
+//     transactions (posts against unregistered or stale handles fail),
+//   * SMSG channels have per-peer mailboxes with finite credits: sends
+//     return GNI_RC_NOT_DONE when the peer has not released older messages,
+//   * completion events carry only limited data (msg id / post id), so a
+//     runtime must keep its own descriptor table — exactly the constraint
+//     that forces the paper's ACK_TAG control message design,
+//   * CPU time: every call charges its modeled cost to the calling PE's
+//     sim::Context, and FMA transactions occupy the CPU for the payload
+//     duration while BTE posts return immediately (paper §II-A).
+//
+// Calls must run inside a simulated PE (sim::current() != nullptr).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gemini/network.hpp"
+#include "sim/context.hpp"
+
+namespace ugnirt::ugni {
+
+// ---------------------------------------------------------------------------
+// Return codes (subset of gni_pub.h).
+// ---------------------------------------------------------------------------
+enum gni_return_t : int {
+  GNI_RC_SUCCESS = 0,
+  GNI_RC_NOT_DONE = 1,
+  GNI_RC_INVALID_PARAM = 2,
+  GNI_RC_ERROR_RESOURCE = 3,
+  GNI_RC_ILLEGAL_OP = 4,
+  GNI_RC_PERMISSION_ERROR = 5,
+  GNI_RC_INVALID_STATE = 6,
+  GNI_RC_TRANSACTION_ERROR = 7,
+  GNI_RC_SIZE_ERROR = 8,
+  GNI_RC_ALIGNMENT_ERROR = 9,
+};
+
+const char* gni_err_str(gni_return_t rc);
+
+// ---------------------------------------------------------------------------
+// Handles.
+// ---------------------------------------------------------------------------
+class Nic;
+class Cq;
+class Ep;
+class Domain;
+class Msgq;  // shared message queue (msgq.hpp)
+
+using gni_nic_handle_t = Nic*;
+using gni_cq_handle_t = Cq*;
+using gni_ep_handle_t = Ep*;
+
+/// Opaque 128-bit memory handle, as in gni_pub.h.  Encodes the owning NIC
+/// instance, a region id, and a generation counter so stale handles (used
+/// after deregistration) are detected.
+struct gni_mem_handle_t {
+  std::uint64_t qword1 = 0;
+  std::uint64_t qword2 = 0;
+
+  bool operator==(const gni_mem_handle_t&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Post descriptors (FMA/BTE transactions).
+// ---------------------------------------------------------------------------
+enum gni_post_type_t : std::uint8_t {
+  GNI_POST_FMA_PUT,
+  GNI_POST_FMA_GET,
+  GNI_POST_RDMA_PUT,
+  GNI_POST_RDMA_GET,
+  GNI_POST_AMO,
+};
+
+enum gni_amo_cmd_t : std::uint8_t {
+  GNI_FMA_ATOMIC_FADD,   // fetch-and-add, returns old value
+  GNI_FMA_ATOMIC_CSWAP,  // compare-and-swap, returns old value
+  GNI_FMA_ATOMIC_AND,
+  GNI_FMA_ATOMIC_OR,
+};
+
+// cq_mode flags
+constexpr std::uint16_t GNI_CQMODE_LOCAL_EVENT = 1u << 0;
+constexpr std::uint16_t GNI_CQMODE_REMOTE_EVENT = 1u << 1;
+
+struct gni_post_descriptor_t {
+  gni_post_type_t type = GNI_POST_FMA_PUT;
+  std::uint16_t cq_mode = GNI_CQMODE_LOCAL_EVENT;
+  std::uint64_t local_addr = 0;
+  gni_mem_handle_t local_mem_hndl{};
+  std::uint64_t remote_addr = 0;
+  gni_mem_handle_t remote_mem_hndl{};
+  std::uint64_t length = 0;
+  std::uint64_t post_id = 0;  // echoed back in the local CQ event
+  // AMO operands; for fetching AMOs the old value is stored to local_addr.
+  std::uint64_t first_operand = 0;
+  std::uint64_t second_operand = 0;
+  gni_amo_cmd_t amo_cmd = GNI_FMA_ATOMIC_FADD;
+};
+
+// ---------------------------------------------------------------------------
+// Completion-queue entries.
+// ---------------------------------------------------------------------------
+enum class CqEventType : std::uint8_t {
+  kSmsg,        // incoming short message on some channel of this NIC
+  kPostLocal,   // a local FMA/BTE transaction completed
+  kPostRemote,  // remote event delivered by a transaction targeting us
+};
+
+struct gni_cq_entry_t {
+  CqEventType type = CqEventType::kSmsg;
+  std::uint64_t data = 0;      // post_id (local), remote data (remote events)
+  std::int32_t source_inst = -1;  // sending NIC instance for SMSG events
+};
+
+// ---------------------------------------------------------------------------
+// SMSG attributes (simplified gni_smsg_attr_t).
+// ---------------------------------------------------------------------------
+struct gni_smsg_attr_t {
+  std::uint32_t msg_maxsize = 1024;   // payload cap per message
+  std::uint32_t mbox_maxcredit = 8;   // in-flight messages before NOT_DONE
+};
+
+// ---------------------------------------------------------------------------
+// API functions — signatures shaped after gni_pub.h.
+// ---------------------------------------------------------------------------
+
+/// GNI_CdmCreate+GNI_CdmAttach equivalent: create a NIC instance bound to a
+/// torus node within the domain.  `inst_id` must be unique in the domain.
+gni_return_t GNI_CdmAttach(Domain* domain, std::int32_t inst_id, int node,
+                           gni_nic_handle_t* nic_out);
+
+gni_return_t GNI_CqCreate(gni_nic_handle_t nic, std::uint32_t entry_count,
+                          gni_cq_handle_t* cq_out);
+gni_return_t GNI_CqDestroy(gni_cq_handle_t cq);
+
+/// Poll a CQ.  Charges cq_poll (plus cq_event when one is present).
+gni_return_t GNI_CqGetEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out);
+
+/// Blocking poll: if an event is in flight toward this CQ, spin (advance
+/// the caller's virtual clock) until it arrives and return it; if the CQ
+/// has no event pending at all, return GNI_RC_NOT_DONE (the emulation
+/// cannot block on traffic that was never issued).  Mirrors the real
+/// GNI_CqWaitEvent; used by the ping-pong style drivers behind the
+/// paper's "pure uGNI" benchmarks.
+gni_return_t GNI_CqWaitEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out);
+
+gni_return_t GNI_MemRegister(gni_nic_handle_t nic, std::uint64_t address,
+                             std::uint64_t length, gni_cq_handle_t dst_cq,
+                             std::uint32_t flags, gni_mem_handle_t* hndl_out);
+gni_return_t GNI_MemDeregister(gni_nic_handle_t nic, gni_mem_handle_t* hndl);
+
+gni_return_t GNI_EpCreate(gni_nic_handle_t nic, gni_cq_handle_t tx_cq,
+                          gni_ep_handle_t* ep_out);
+gni_return_t GNI_EpBind(gni_ep_handle_t ep, std::int32_t remote_inst_id);
+gni_return_t GNI_EpDestroy(gni_ep_handle_t ep);
+
+/// Set up the SMSG channel on this endpoint (both sides must agree; the
+/// emulation validates that attrs match when traffic first flows).
+gni_return_t GNI_SmsgInit(gni_ep_handle_t ep, const gni_smsg_attr_t& local,
+                          const gni_smsg_attr_t& remote);
+
+/// Send header+payload as one short message with a tag.  Fails with
+/// GNI_RC_NOT_DONE when the channel is out of credits and with
+/// GNI_RC_SIZE_ERROR when hdr+data exceeds msg_maxsize.
+gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t ep, const void* header,
+                              std::uint32_t header_length, const void* data,
+                              std::uint32_t data_length, std::uint32_t msg_id,
+                              std::uint8_t tag);
+
+/// Peek the next undelivered message on this endpoint's receive mailbox.
+/// Returns a pointer into mailbox memory (valid until GNI_SmsgRelease).
+gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t ep, void** data_out,
+                                 std::uint8_t* tag_out);
+
+/// Release the mailbox slot of the last message returned by GetNextWTag,
+/// returning a credit to the sender.
+gni_return_t GNI_SmsgRelease(gni_ep_handle_t ep);
+
+gni_return_t GNI_PostFma(gni_ep_handle_t ep, gni_post_descriptor_t* desc);
+gni_return_t GNI_PostRdma(gni_ep_handle_t ep, gni_post_descriptor_t* desc);
+
+/// Retrieve the descriptor whose completion `event` (kPostLocal) reported.
+gni_return_t GNI_GetCompleted(gni_cq_handle_t cq, const gni_cq_entry_t& event,
+                              gni_post_descriptor_t** desc_out);
+
+namespace detail {
+/// Shared implementation of GNI_PostFma / GNI_PostRdma.
+gni_return_t post_transaction(Ep* ep, gni_post_descriptor_t* desc,
+                              bool is_rdma);
+}  // namespace detail
+
+// The API functions need access to emulation internals; granting friendship
+// to the whole set in each class keeps the public surface identical to the
+// real opaque-handle API.
+#define UGNIRT_UGNI_API_FRIENDS                                              \
+  friend gni_return_t GNI_CdmAttach(Domain*, std::int32_t, int,              \
+                                    gni_nic_handle_t*);                      \
+  friend gni_return_t GNI_CqCreate(gni_nic_handle_t, std::uint32_t,          \
+                                   gni_cq_handle_t*);                        \
+  friend gni_return_t GNI_CqGetEvent(gni_cq_handle_t, gni_cq_entry_t*);      \
+  friend gni_return_t GNI_CqWaitEvent(gni_cq_handle_t, gni_cq_entry_t*);     \
+  friend gni_return_t GNI_MemRegister(gni_nic_handle_t, std::uint64_t,       \
+                                      std::uint64_t, gni_cq_handle_t,        \
+                                      std::uint32_t, gni_mem_handle_t*);     \
+  friend gni_return_t GNI_MemDeregister(gni_nic_handle_t,                    \
+                                        gni_mem_handle_t*);                  \
+  friend gni_return_t GNI_EpCreate(gni_nic_handle_t, gni_cq_handle_t,        \
+                                   gni_ep_handle_t*);                        \
+  friend gni_return_t GNI_EpBind(gni_ep_handle_t, std::int32_t);             \
+  friend gni_return_t GNI_EpDestroy(gni_ep_handle_t);                        \
+  friend gni_return_t GNI_SmsgInit(gni_ep_handle_t, const gni_smsg_attr_t&,  \
+                                   const gni_smsg_attr_t&);                  \
+  friend gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t, const void*,         \
+                                       std::uint32_t, const void*,           \
+                                       std::uint32_t, std::uint32_t,         \
+                                       std::uint8_t);                        \
+  friend gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t, void**,           \
+                                          std::uint8_t*);                    \
+  friend gni_return_t GNI_SmsgRelease(gni_ep_handle_t);                      \
+  friend gni_return_t GNI_GetCompleted(gni_cq_handle_t,                      \
+                                       const gni_cq_entry_t&,                \
+                                       gni_post_descriptor_t**);             \
+  friend gni_return_t detail::post_transaction(Ep*, gni_post_descriptor_t*,  \
+                                               bool);
+
+// ---------------------------------------------------------------------------
+// Emulation objects.
+// ---------------------------------------------------------------------------
+
+/// A completion queue: a bounded FIFO of events plus an optional notify hook
+/// so the simulated runtime can wake an idle PE when an event lands.
+class Cq {
+ public:
+  Cq(Nic* nic, std::uint32_t capacity) : nic_(nic), capacity_(capacity) {}
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t depth() const { return entries_.size(); }
+  bool overrun() const { return overrun_; }
+  Nic* nic() const { return nic_; }
+
+  /// Virtual arrival time of the earliest queued event, or kNever when the
+  /// queue is empty (driver support; carries no CPU charge).
+  SimTime next_arrival() const {
+    return entries_.empty() ? kNever : entries_.front().at;
+  }
+
+  /// Invoked (at event-arrival virtual time) whenever an entry is pushed.
+  void set_notify(std::function<void(SimTime)> fn) { notify_ = std::move(fn); }
+
+ private:
+  UGNIRT_UGNI_API_FRIENDS
+
+  void push(SimTime at, gni_cq_entry_t entry);
+
+  struct Timed {
+    SimTime at;
+    gni_cq_entry_t entry;
+  };
+
+  Nic* nic_;
+  std::uint32_t capacity_;
+  bool overrun_ = false;
+  std::deque<Timed> entries_;  // kept sorted by arrival time
+  std::function<void(SimTime)> notify_;
+};
+
+/// One side of a peer-to-peer SMSG channel.
+struct SmsgChannelState {
+  bool initialized = false;
+  gni_smsg_attr_t local{};
+  gni_smsg_attr_t remote{};
+  std::uint32_t credits = 0;  // remaining send credits
+  SimTime last_arrival = 0;   // FIFO: later sends never arrive earlier
+  // Receive mailbox: messages that arrived and await GetNext/Release.
+  struct Msg {
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t tag = 0;
+    SimTime at = 0;          // virtual arrival time
+    bool delivered = false;  // returned by GetNextWTag, not yet Released
+  };
+  std::deque<Msg> rx;
+};
+
+/// Endpoint: the addressing object for one remote NIC instance.
+class Ep {
+ public:
+  Ep(Nic* nic, Cq* tx_cq) : nic_(nic), tx_cq_(tx_cq) {}
+
+  Nic* nic() const { return nic_; }
+  Cq* tx_cq() const { return tx_cq_; }
+  std::int32_t remote_inst() const { return remote_inst_; }
+  bool bound() const { return remote_inst_ >= 0; }
+
+ private:
+  UGNIRT_UGNI_API_FRIENDS
+
+  Nic* nic_;
+  Cq* tx_cq_;
+  std::int32_t remote_inst_ = -1;
+  SmsgChannelState smsg_;
+};
+
+/// A NIC instance: one per simulated process (PE), attached to a torus node.
+class Nic {
+ public:
+  Nic(Domain* domain, std::int32_t inst_id, int node)
+      : domain_(domain), inst_id_(inst_id), node_(node) {}
+
+  std::int32_t inst_id() const { return inst_id_; }
+  int node() const { return node_; }
+  Domain* domain() const { return domain_; }
+
+  /// The CQ receiving SMSG arrival events for all channels of this NIC
+  /// (set by the first GNI_SmsgInit; mirrors the shared smsg rx CQ in the
+  /// real machine layer).
+  Cq* smsg_rx_cq() const { return smsg_rx_cq_; }
+  void set_smsg_rx_cq(Cq* cq) { smsg_rx_cq_ = cq; }
+
+  /// Total mailbox memory this NIC has committed to SMSG channels — the
+  /// linear-in-peers cost the paper calls out for SMSG vs MSGQ.
+  std::uint64_t mailbox_bytes() const { return mailbox_bytes_; }
+
+  std::uint64_t registered_bytes() const { return registered_bytes_; }
+  std::size_t active_regions() const { return n_active_regions_; }
+
+  /// Endpoint on this NIC bound to `remote_inst`, or nullptr.
+  Ep* ep_for_peer(std::int32_t remote_inst) const;
+
+  /// The per-NIC shared message queue (nullptr until GNI_MsgqInit).
+  Msgq* msgq() const { return msgq_; }
+  void set_msgq(Msgq* q) { msgq_ = q; }
+
+  /// Invoked (at credit-return virtual time) when a peer releases one of
+  /// our in-flight SMSG messages, so a runtime with back-pressured sends
+  /// can wake up and retry.
+  void set_credit_notify(std::function<void(SimTime)> fn) {
+    credit_notify_ = std::move(fn);
+  }
+
+ private:
+  UGNIRT_UGNI_API_FRIENDS
+
+  struct Region {
+    std::uint64_t addr = 0;
+    std::uint64_t length = 0;
+    std::uint32_t generation = 0;
+    bool valid = false;
+    Cq* dst_cq = nullptr;  // receives remote events for transactions here
+  };
+
+  bool handle_valid(const gni_mem_handle_t& h, std::uint64_t addr,
+                    std::uint64_t len) const;
+  Region* region_of(const gni_mem_handle_t& h);
+  const Region* region_of(const gni_mem_handle_t& h) const;
+
+  Domain* domain_;
+  std::int32_t inst_id_;
+  int node_;
+  Cq* smsg_rx_cq_ = nullptr;
+  Msgq* msgq_ = nullptr;  // owned; released by Domain's destructor
+  std::vector<Region> regions_;
+  std::size_t n_active_regions_ = 0;
+  std::uint64_t registered_bytes_ = 0;
+  std::uint64_t mailbox_bytes_ = 0;
+  std::unordered_map<std::int32_t, Ep*> peer_eps_;  // bound endpoints
+  std::function<void(SimTime)> credit_notify_;
+  // Descriptors completed but not yet claimed via GNI_GetCompleted.
+  std::vector<std::pair<std::uint64_t, gni_post_descriptor_t*>> completed_;
+  std::uint64_t next_internal_post_id_ = 1;
+};
+
+/// The communication domain: the collection of NIC instances sharing one
+/// simulated Gemini network (the job, in Cray terms).
+class Domain {
+ public:
+  explicit Domain(gemini::Network& network) : network_(&network) {}
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+  ~Domain();
+
+  gemini::Network& network() const { return *network_; }
+  const gemini::MachineConfig& config() const { return network_->config(); }
+  sim::Engine& engine() const { return network_->engine(); }
+
+  Nic* nic_by_inst(std::int32_t inst_id) const;
+  std::size_t nic_count() const { return nics_.size(); }
+
+  /// Aggregate SMSG mailbox memory across the job (scalability metric).
+  std::uint64_t total_mailbox_bytes() const;
+
+ private:
+  UGNIRT_UGNI_API_FRIENDS
+
+  gemini::Network* network_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Ep>> eps_;
+  std::vector<std::unique_ptr<Cq>> cqs_;
+};
+
+}  // namespace ugnirt::ugni

@@ -1,0 +1,156 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ugnirt {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_env_name(const std::string& key) {
+  std::string out = "UGNIRT_";
+  for (char c : key) {
+    if (c == '.' || c == '-') {
+      out.push_back('_');
+    } else {
+      out.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Config::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      error_ = "line " + std::to_string(lineno) + ": missing '='";
+      return false;
+    }
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      error_ = "line " + std::to_string(lineno) + ": empty key";
+      return false;
+    }
+    values_[key] = value;
+  }
+  return true;
+}
+
+bool Config::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    error_ = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_string(ss.str());
+}
+
+void Config::apply_env_overrides(const std::vector<std::string>& extra_keys) {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size() + extra_keys.size());
+  for (const auto& [k, _] : values_) keys.push_back(k);
+  keys.insert(keys.end(), extra_keys.begin(), extra_keys.end());
+  for (const auto& key : keys) {
+    if (const char* v = std::getenv(to_env_name(key).c_str())) {
+      values_[key] = v;
+    }
+  }
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::get_string(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> Config::get_int(const std::string& key) const {
+  auto s = get_string(key);
+  if (!s) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s->c_str(), &end, 0);
+  if (errno != 0 || end == s->c_str() || *end != '\0') return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> Config::get_double(const std::string& key) const {
+  auto s = get_string(key);
+  if (!s) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s->c_str(), &end);
+  if (errno != 0 || end == s->c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<bool> Config::get_bool(const std::string& key) const {
+  auto s = get_string(key);
+  if (!s) return std::nullopt;
+  std::string v = *s;
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return std::nullopt;
+}
+
+std::string Config::get_string_or(const std::string& key,
+                                  const std::string& fallback) const {
+  return get_string(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int_or(const std::string& key,
+                                std::int64_t fallback) const {
+  return get_int(key).value_or(fallback);
+}
+
+double Config::get_double_or(const std::string& key, double fallback) const {
+  return get_double(key).value_or(fallback);
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  return get_bool(key).value_or(fallback);
+}
+
+std::string Config::dump() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : values_) out << k << " = " << v << "\n";
+  return out.str();
+}
+
+}  // namespace ugnirt

@@ -1,0 +1,57 @@
+// Key=value configuration store.
+//
+// Every tunable in the machine model (latencies, bandwidths, thresholds,
+// crossovers) is resolved through a Config so experiments and ablations can
+// override any constant from a file or `UGNIRT_<KEY>` environment variables
+// without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ugnirt {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  /// Returns false (and records an error) on malformed input.
+  bool parse_string(const std::string& text);
+  bool parse_file(const std::string& path);
+
+  /// Apply overrides from environment variables named UGNIRT_<UPPERCASE_KEY>
+  /// for each key already present plus any listed extra keys.
+  void apply_env_overrides(const std::vector<std::string>& extra_keys = {});
+
+  void set(const std::string& key, const std::string& value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters; the _or forms return the fallback when absent.
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::optional<std::int64_t> get_int(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& key) const;
+
+  std::string get_string_or(const std::string& key,
+                            const std::string& fallback) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  const std::string& last_error() const { return error_; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Deterministic (sorted) dump used by tests and experiment logs.
+  std::string dump() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace ugnirt

@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ugnirt {
+
+namespace {
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("UGNIRT_LOG");
+  if (!env) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+LogLevel& threshold_ref() {
+  static LogLevel level = initial_threshold();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_ref(); }
+
+void set_log_threshold(LogLevel level) { threshold_ref() = level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[ugnirt %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace ugnirt

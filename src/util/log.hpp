@@ -1,0 +1,33 @@
+// Minimal leveled logger.  Off by default; enable with UGNIRT_LOG=debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ugnirt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_threshold());
+}
+
+}  // namespace ugnirt
+
+#define UGNIRT_LOG(level, expr)                                \
+  do {                                                         \
+    if (::ugnirt::log_enabled(level)) {                        \
+      std::ostringstream ugnirt_log_ss;                        \
+      ugnirt_log_ss << expr;                                   \
+      ::ugnirt::log_message(level, ugnirt_log_ss.str());       \
+    }                                                          \
+  } while (0)
+
+#define UGNIRT_DEBUG(expr) UGNIRT_LOG(::ugnirt::LogLevel::kDebug, expr)
+#define UGNIRT_INFO(expr) UGNIRT_LOG(::ugnirt::LogLevel::kInfo, expr)
+#define UGNIRT_WARN(expr) UGNIRT_LOG(::ugnirt::LogLevel::kWarn, expr)
+#define UGNIRT_ERROR(expr) UGNIRT_LOG(::ugnirt::LogLevel::kError, expr)

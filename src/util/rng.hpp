@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs, so every stochastic
+// decision (seed-balancer target PEs, sampled N-Queens subtrees, synthetic
+// workload jitter) draws from an explicitly-seeded xoshiro256** stream.
+// Streams are derived per-PE via SplitMix64 so adding a PE never perturbs
+// another PE's sequence.
+#pragma once
+
+#include <cstdint>
+
+namespace ugnirt {
+
+/// SplitMix64: used to expand a single seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality generator for simulation decisions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'cafe'f00d'd00dULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint32_t next_below(std::uint32_t bound) {
+    if (bound == 0) return 0;
+    std::uint64_t m =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(next_u64())) *
+        bound;
+    std::uint32_t lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(static_cast<std::uint32_t>(next_u64())) *
+            bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential variate with the given mean (for synthetic workload jitter).
+  double next_exponential(double mean);
+
+  /// Derive an independent stream (e.g. one per PE).
+  Rng derive(std::uint64_t stream_id) const {
+    SplitMix64 sm(s_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL) ^ s_[3]);
+    Rng r(sm.next());
+    return r;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace ugnirt

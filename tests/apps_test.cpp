@@ -1,0 +1,266 @@
+// Tests for minimd, the NAMD-shaped workload, the micro-benchmark drivers
+// and the tracer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "apps/microbench/microbench.hpp"
+#include "apps/minimd/minimd.hpp"
+#include "apps/namdmodel/namdmodel.hpp"
+#include "trace/tracer.hpp"
+
+namespace ugnirt::apps {
+namespace {
+
+using converse::LayerKind;
+using converse::MachineOptions;
+
+MachineOptions opts(int pes, LayerKind layer = LayerKind::kUgni) {
+  MachineOptions o;
+  o.pes = pes;
+  o.layer = layer;
+  return o;
+}
+
+// ---------------------------------------------------------------- minimd ----
+
+TEST(MiniMd, ConservesEnergyAndMomentum) {
+  minimd::MdConfig cfg;
+  cfg.steps = 30;
+  cfg.atoms_per_patch = 8;
+  minimd::MdResult r = run_minimd(opts(4), cfg);
+  ASSERT_EQ(static_cast<int>(r.energy.size()), cfg.steps);
+  EXPECT_LT(r.max_energy_drift, 0.05);
+  EXPECT_LT(std::abs(r.total_momentum.x), 1e-9);
+  EXPECT_LT(std::abs(r.total_momentum.y), 1e-9);
+  EXPECT_LT(std::abs(r.total_momentum.z), 1e-9);
+  EXPECT_GT(r.pair_interactions, 0u);
+}
+
+TEST(MiniMd, AtomsMigrateBetweenPatches) {
+  minimd::MdConfig cfg;
+  cfg.steps = 400;
+  cfg.atoms_per_patch = 8;
+  cfg.initial_temp = 3.0;  // hot enough to cross patch boundaries
+  minimd::MdResult r = run_minimd(opts(2), cfg);
+  EXPECT_GT(r.migrations, 0u);
+  EXPECT_LT(r.max_energy_drift, 0.15);
+}
+
+TEST(MiniMd, SameResultOnBothLayersAndAnyPeCount) {
+  minimd::MdConfig cfg;
+  cfg.steps = 10;
+  cfg.atoms_per_patch = 6;
+  minimd::MdResult a = run_minimd(opts(1), cfg);
+  minimd::MdResult b = run_minimd(opts(9), cfg);
+  minimd::MdResult c = run_minimd(opts(9, LayerKind::kMpi), cfg);
+  ASSERT_EQ(a.energy.size(), b.energy.size());
+  for (std::size_t i = 0; i < a.energy.size(); ++i) {
+    EXPECT_NEAR(a.energy[i], b.energy[i], 1e-9 * std::abs(a.energy[i]) + 1e-12);
+    EXPECT_NEAR(a.energy[i], c.energy[i], 1e-9 * std::abs(a.energy[i]) + 1e-12);
+  }
+}
+
+TEST(MiniMd, VirtualTimeScalesDownWithMorePes) {
+  minimd::MdConfig cfg;
+  cfg.steps = 10;
+  cfg.atoms_per_patch = 12;
+  minimd::MdResult p1 = run_minimd(opts(1), cfg);
+  minimd::MdResult p9 = run_minimd(opts(9), cfg);
+  EXPECT_LT(p9.elapsed, p1.elapsed);
+}
+
+// --------------------------------------------------------------- namd model ----
+
+TEST(NamdModel, SystemsHavePaperAtomCounts) {
+  EXPECT_EQ(namdmodel::apoa1().atoms, 92224);
+  EXPECT_EQ(namdmodel::dhfr().atoms, 23558);
+  EXPECT_EQ(namdmodel::iapp().atoms, 5570);
+}
+
+TEST(NamdModel, TwoCoreApoa1NearPaperBaseline) {
+  namdmodel::NamdConfig cfg;
+  cfg.system = namdmodel::apoa1();
+  cfg.warmup_steps = 1;
+  cfg.steps = 2;
+  namdmodel::NamdResult r = run_namd_model(opts(2), cfg);
+  // Paper Table II: 979-987 ms/step on 2 cores.
+  EXPECT_GT(r.ms_per_step, 800.0);
+  EXPECT_LT(r.ms_per_step, 1200.0);
+  EXPECT_GT(r.patches, 100);  // ApoA1-scale decomposition
+}
+
+TEST(NamdModel, StrongScalingReducesStepTime) {
+  namdmodel::NamdConfig cfg;
+  cfg.system = namdmodel::iapp();
+  cfg.warmup_steps = 1;
+  cfg.steps = 2;
+  namdmodel::NamdResult r2 = run_namd_model(opts(2), cfg);
+  namdmodel::NamdResult r16 = run_namd_model(opts(16), cfg);
+  EXPECT_LT(r16.ms_per_step, r2.ms_per_step / 4);
+}
+
+TEST(NamdModel, LoadBalancerReducesImbalance) {
+  namdmodel::NamdConfig cfg;
+  cfg.system = namdmodel::iapp();
+  cfg.warmup_steps = 1;
+  cfg.steps = 1;
+  namdmodel::NamdResult r = run_namd_model(opts(12), cfg);
+  EXPECT_GT(r.migrations, 0);
+  EXPECT_LE(r.lb_max_after, r.lb_max_before);
+}
+
+TEST(NamdModel, UgniLayerFasterThanMpiFineGrain) {
+  // Fine-grain regime (few objects per PE, PME every step): the uGNI layer
+  // must win, as in the paper's Table II mid-range.  (At tiny scale — one
+  // ASIC — the eager MPI path is legitimately competitive.)
+  namdmodel::NamdConfig cfg;
+  cfg.system = namdmodel::iapp();
+  cfg.warmup_steps = 1;
+  cfg.steps = 2;
+  namdmodel::NamdResult ug = run_namd_model(opts(240), cfg);
+  namdmodel::NamdResult mp = run_namd_model(opts(240, LayerKind::kMpi), cfg);
+  EXPECT_LT(ug.ms_per_step, mp.ms_per_step);
+}
+
+// ------------------------------------------------------------ microbench ----
+
+TEST(Microbench, RawMechanismOrderingMatchesFig4) {
+  gemini::MachineConfig mc;
+  // Small: FMA put fastest, BTE put slowest of the puts.
+  SimTime fma_s = bench::raw_mechanism_latency(mc, gemini::Mechanism::kFmaPut, 64);
+  SimTime bte_s = bench::raw_mechanism_latency(mc, gemini::Mechanism::kBtePut, 64);
+  EXPECT_LT(fma_s, bte_s);
+  // Large: BTE wins.
+  SimTime fma_l = bench::raw_mechanism_latency(mc, gemini::Mechanism::kFmaPut, 1 << 20);
+  SimTime bte_l = bench::raw_mechanism_latency(mc, gemini::Mechanism::kBtePut, 1 << 20);
+  EXPECT_GT(fma_l, bte_l);
+  // GETs cost more than PUTs at equal size.
+  EXPECT_GT(bench::raw_mechanism_latency(mc, gemini::Mechanism::kFmaGet, 4096),
+            bench::raw_mechanism_latency(mc, gemini::Mechanism::kFmaPut, 4096));
+}
+
+TEST(Microbench, PureUgniPingPongNearHardwareFloor) {
+  gemini::MachineConfig mc;
+  SimTime t8 = bench::pure_ugni_pingpong(mc, 8);
+  EXPECT_GT(t8, microseconds(0.8));
+  EXPECT_LT(t8, microseconds(1.6));  // paper: ~1.2 us
+  SimTime t64k = bench::pure_ugni_pingpong(mc, 64 * 1024);
+  EXPECT_GT(t64k, t8);
+}
+
+TEST(Microbench, PureMpiSameBufferBeatsDifferentBuffersLarge) {
+  gemini::MachineConfig mc;
+  SimTime same = bench::pure_mpi_pingpong(mc, 256 * 1024, true);
+  SimTime diff = bench::pure_mpi_pingpong(mc, 256 * 1024, false);
+  EXPECT_LT(same, diff);  // uDREG hits vs misses (Fig 9a)
+  // Small messages: no registration either way, so nearly identical.
+  SimTime s_same = bench::pure_mpi_pingpong(mc, 64, true);
+  SimTime s_diff = bench::pure_mpi_pingpong(mc, 64, false);
+  EXPECT_NEAR(static_cast<double>(s_same), static_cast<double>(s_diff),
+              static_cast<double>(s_same) * 0.05);
+}
+
+TEST(Microbench, CharmLatencyLadderMatchesFig1) {
+  // MPI-based CHARM++ > pure MPI > pure uGNI for small messages.
+  gemini::MachineConfig mc;
+  SimTime ugni = bench::pure_ugni_pingpong(mc, 32);
+  SimTime mpi = bench::pure_mpi_pingpong(mc, 32, true);
+  MachineOptions o = opts(2, LayerKind::kMpi);
+  o.pes_per_node = 1;
+  bench::PingPongOptions pp;
+  pp.payload = 32;
+  SimTime mpi_charm = bench::charm_pingpong(o, pp);
+  EXPECT_LT(ugni, mpi);
+  EXPECT_LT(mpi, mpi_charm);
+}
+
+TEST(Microbench, PersistentReducesCharmLatency) {
+  MachineOptions o = opts(2, LayerKind::kUgni);
+  o.pes_per_node = 1;
+  bench::PingPongOptions plain;
+  plain.payload = 64 * 1024;
+  bench::PingPongOptions persist = plain;
+  persist.persistent = true;
+  EXPECT_LT(bench::charm_pingpong(o, persist),
+            bench::charm_pingpong(o, plain));
+}
+
+TEST(Microbench, BandwidthIncreasesWithMessageSize) {
+  MachineOptions o = opts(2, LayerKind::kUgni);
+  o.pes_per_node = 1;
+  double bw_64k = bench::charm_bandwidth(o, 64 * 1024);
+  double bw_4m = bench::charm_bandwidth(o, 4 * 1024 * 1024);
+  EXPECT_GT(bw_4m, bw_64k);
+  EXPECT_LT(bw_4m, 6500.0);  // can't beat the configured BTE rate
+  EXPECT_GT(bw_4m, 3000.0);
+}
+
+TEST(Microbench, OneToAllUgniBeatsMpi) {
+  auto run = [&](LayerKind layer) {
+    MachineOptions o = opts(16, layer);
+    o.pes_per_node = 1;  // 16 nodes, one core each (paper Fig 9c setup)
+    return bench::charm_onetoall(o, 512, 4);
+  };
+  EXPECT_LT(run(LayerKind::kUgni), run(LayerKind::kMpi));
+}
+
+TEST(Microbench, KNeighborUgniRoughlyHalvesMpiLatency) {
+  auto run = [&](LayerKind layer, std::uint32_t bytes) {
+    MachineOptions o = opts(3, layer);
+    o.pes_per_node = 1;  // 3 cores on 3 nodes (paper Fig 10 setup)
+    return bench::charm_kneighbor(o, bytes, 1, 4);
+  };
+  // Paper: uGNI kNeighbor latency is about half of MPI even at 1 MB.
+  SimTime ug = run(LayerKind::kUgni, 1 << 20);
+  SimTime mp = run(LayerKind::kMpi, 1 << 20);
+  EXPECT_LT(ug, mp);
+  SimTime ug_small = run(LayerKind::kUgni, 1024);
+  SimTime mp_small = run(LayerKind::kMpi, 1024);
+  EXPECT_LT(ug_small, mp_small);
+}
+
+// ---------------------------------------------------------------- tracer ----
+
+TEST(Tracer, BinsAndPercentagesAddUp) {
+  trace::Tracer t(1000);
+  t.set_pe_count(2);
+  t.record(0, 0, 1500, trace::SpanKind::kApp);       // crosses bins 0,1
+  t.record(1, 500, 900, trace::SpanKind::kOverhead);
+  t.finalize(2000);
+  ASSERT_EQ(t.bins(), 2u);
+  EXPECT_DOUBLE_EQ(t.app_ns(0), 1000.0);
+  EXPECT_DOUBLE_EQ(t.app_ns(1), 500.0);
+  EXPECT_DOUBLE_EQ(t.overhead_ns(0), 400.0);
+  for (std::size_t b = 0; b < t.bins(); ++b) {
+    EXPECT_NEAR(t.app_pct(b) + t.overhead_pct(b) + t.idle_pct(b), 100.0, 1e-9);
+  }
+}
+
+TEST(Tracer, CsvHasHeaderAndRows) {
+  trace::Tracer t(1'000'000);
+  t.set_pe_count(1);
+  t.record(0, 0, 500'000, trace::SpanKind::kApp);
+  t.finalize(3'000'000);
+  std::ostringstream out;
+  t.write_csv(out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("time_ms,app_pct,overhead_pct,idle_pct"), std::string::npos);
+  int lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // header + 3 bins
+}
+
+TEST(Tracer, PartialFinalBinUsesReducedCapacity) {
+  trace::Tracer t(1000);
+  t.set_pe_count(1);
+  t.record(0, 2000, 2500, trace::SpanKind::kApp);
+  t.finalize(2500);  // final bin only 500ns wide
+  EXPECT_NEAR(t.app_pct(2), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ugnirt::apps

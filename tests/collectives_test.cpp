@@ -1,0 +1,189 @@
+// Barrier / gather / section-multicast collectives, across machine layers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <set>
+
+#include "charm/collectives.hpp"
+#include "lrts/runtime.hpp"
+
+namespace ugnirt::charm {
+namespace {
+
+using converse::LayerKind;
+using converse::MachineOptions;
+
+MachineOptions opts(int pes, LayerKind layer = LayerKind::kUgni) {
+  MachineOptions o;
+  o.pes = pes;
+  o.layer = layer;
+  return o;
+}
+
+class CollectivesBothLayers : public ::testing::TestWithParam<LayerKind> {};
+
+TEST_P(CollectivesBothLayers, BarrierReleasesEveryPeEveryRound) {
+  auto m = lrts::make_machine(opts(13, GetParam()));
+  Charm charm(*m);
+  Collectives coll(charm);
+
+  std::vector<int> releases(13, 0);
+  int bar = -1;
+  bar = coll.register_barrier([&] {
+    int me = converse::CmiMyPe();
+    if (++releases[static_cast<std::size_t>(me)] < 3) {
+      coll.arrive(bar);  // next round
+    }
+  });
+  for (int pe = 0; pe < 13; ++pe) {
+    m->start(pe, [&coll, bar] { coll.arrive(bar); });
+  }
+  m->run();
+  for (int pe = 0; pe < 13; ++pe) {
+    EXPECT_EQ(releases[static_cast<std::size_t>(pe)], 3) << "pe " << pe;
+  }
+}
+
+TEST_P(CollectivesBothLayers, BarrierSeparatesPhases) {
+  // No PE may observe the release before every PE arrived.
+  auto m = lrts::make_machine(opts(9, GetParam()));
+  Charm charm(*m);
+  Collectives coll(charm);
+  std::vector<SimTime> arrive_at(9, 0), release_at(9, 0);
+  int bar = coll.register_barrier([&] {
+    release_at[static_cast<std::size_t>(converse::CmiMyPe())] =
+        converse::Machine::running()->current_pe().ctx().now();
+  });
+  for (int pe = 0; pe < 9; ++pe) {
+    m->start(pe, [&, pe] {
+      // Staggered arrival: later PEs do fake work first.
+      converse::CmiChargeWork(pe * 50'000);
+      arrive_at[static_cast<std::size_t>(pe)] =
+          converse::Machine::running()->current_pe().ctx().now();
+      coll.arrive(bar);
+    });
+  }
+  m->run();
+  SimTime last_arrival =
+      *std::max_element(arrive_at.begin(), arrive_at.end());
+  for (int pe = 0; pe < 9; ++pe) {
+    EXPECT_GE(release_at[static_cast<std::size_t>(pe)], last_arrival)
+        << "pe " << pe << " released before the barrier was full";
+  }
+}
+
+TEST_P(CollectivesBothLayers, GatherCollectsPerPeBlobs) {
+  auto m = lrts::make_machine(opts(7, GetParam()));
+  Charm charm(*m);
+  Collectives coll(charm);
+  bool done = false;
+  int g = coll.register_gather(
+      [&](const std::vector<std::vector<std::uint8_t>>& blobs) {
+        ASSERT_EQ(blobs.size(), 7u);
+        for (int pe = 0; pe < 7; ++pe) {
+          const auto& b = blobs[static_cast<std::size_t>(pe)];
+          ASSERT_EQ(b.size(), static_cast<std::size_t>(pe + 1));
+          for (std::uint8_t byte : b) {
+            EXPECT_EQ(byte, static_cast<std::uint8_t>(0x40 + pe));
+          }
+        }
+        done = true;
+      });
+  for (int pe = 0; pe < 7; ++pe) {
+    m->start(pe, [&, pe] {
+      std::vector<std::uint8_t> blob(static_cast<std::size_t>(pe + 1),
+                                     static_cast<std::uint8_t>(0x40 + pe));
+      coll.contribute_blob(g, blob.data(),
+                           static_cast<std::uint32_t>(blob.size()));
+    });
+  }
+  m->run();
+  EXPECT_TRUE(done);
+}
+
+TEST_P(CollectivesBothLayers, SectionMulticastHitsExactlyTheSection) {
+  auto m = lrts::make_machine(opts(16, GetParam()));
+  Charm charm(*m);
+  Collectives coll(charm);
+  std::vector<int> hits(16, 0);
+  int h = coll.register_section_handler([&](const void* payload,
+                                            std::uint32_t len) {
+    ASSERT_EQ(len, 5u);
+    EXPECT_EQ(std::memcmp(payload, "hello", 5), 0);
+    hits[static_cast<std::size_t>(converse::CmiMyPe())]++;
+  });
+  int section = coll.create_section({2, 3, 5, 7, 11, 13});
+  m->start(4, [&] { coll.multicast(section, h, "hello", 5); });
+  m->run();
+  std::set<int> members{2, 3, 5, 7, 11, 13};
+  for (int pe = 0; pe < 16; ++pe) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(pe)], members.count(pe) ? 1 : 0)
+        << "pe " << pe;
+  }
+}
+
+TEST_P(CollectivesBothLayers, RepeatedMulticastsDeliverInOrderPerMember) {
+  auto m = lrts::make_machine(opts(8, GetParam()));
+  Charm charm(*m);
+  Collectives coll(charm);
+  std::vector<std::vector<int>> seen(8);
+  int h = coll.register_section_handler(
+      [&](const void* payload, std::uint32_t) {
+        int v;
+        std::memcpy(&v, payload, sizeof(v));
+        seen[static_cast<std::size_t>(converse::CmiMyPe())].push_back(v);
+      });
+  int section = coll.create_section({1, 4, 6});
+  m->start(0, [&] {
+    for (int i = 0; i < 10; ++i) {
+      coll.multicast(section, h, &i, sizeof(i));
+    }
+  });
+  m->run();
+  for (int pe : {1, 4, 6}) {
+    const auto& s = seen[static_cast<std::size_t>(pe)];
+    ASSERT_EQ(s.size(), 10u) << "pe " << pe;
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(s[static_cast<std::size_t>(i)], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, CollectivesBothLayers,
+                         ::testing::Values(LayerKind::kUgni, LayerKind::kMpi),
+                         [](const auto& info) {
+                           return info.param == LayerKind::kUgni ? "uGNI"
+                                                                 : "MPI";
+                         });
+
+TEST(CollectivesSmp, AllCollectivesWorkInSmpMode) {
+  MachineOptions o = opts(12);
+  o.smp_mode = true;
+  o.pes_per_node = 4;
+  auto m = lrts::make_machine(o);
+  Charm charm(*m);
+  Collectives coll(charm);
+  int released = 0, gathered = 0, mcast = 0;
+  int bar = coll.register_barrier([&] { ++released; });
+  int g = coll.register_gather(
+      [&](const std::vector<std::vector<std::uint8_t>>& blobs) {
+        gathered = static_cast<int>(blobs.size());
+      });
+  int h = coll.register_section_handler(
+      [&](const void*, std::uint32_t) { ++mcast; });
+  int section = coll.create_section({0, 5, 10});
+  for (int pe = 0; pe < 12; ++pe) {
+    m->start(pe, [&, pe] {
+      coll.arrive(bar);
+      std::uint8_t byte = static_cast<std::uint8_t>(pe);
+      coll.contribute_blob(g, &byte, 1);
+      if (pe == 3) coll.multicast(section, h, "x", 1);
+    });
+  }
+  m->run();
+  EXPECT_EQ(released, 12);
+  EXPECT_EQ(gathered, 12);
+  EXPECT_EQ(mcast, 3);
+}
+
+}  // namespace
+}  // namespace ugnirt::charm

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "apps/nqueens/parallel.hpp"
+#include "apps/nqueens/solver.hpp"
+#include "apps/nqueens/subtree_model.hpp"
+
+namespace ugnirt::apps::nqueens {
+namespace {
+
+using converse::LayerKind;
+using converse::MachineOptions;
+
+MachineOptions opts(int pes, LayerKind layer = LayerKind::kUgni) {
+  MachineOptions o;
+  o.pes = pes;
+  o.layer = layer;
+  return o;
+}
+
+// ---------------------------------------------------------------- solver ----
+
+TEST(Solver, MatchesKnownCountsSmall) {
+  for (int n = 1; n <= 11; ++n) {
+    EXPECT_EQ(solve_all(n).solutions, known_solutions(n)) << "n=" << n;
+  }
+}
+
+TEST(Solver, MatchesKnownCountsMedium) {
+  EXPECT_EQ(solve_all(12).solutions, 14200u);
+  EXPECT_EQ(solve_all(13).solutions, 73712u);
+}
+
+TEST(Solver, SubtreeDecompositionIsExact) {
+  // Sum over all depth-2 prefixes must equal the full count.
+  const int n = 10;
+  const std::uint32_t all = (1u << n) - 1;
+  std::uint64_t total = 0;
+  for (int c0 = 0; c0 < n; ++c0) {
+    std::uint32_t b0 = 1u << c0;
+    std::uint32_t cols = b0, dl = (b0 << 1) & all, dr = b0 >> 1;
+    for (int c1 = 0; c1 < n; ++c1) {
+      std::uint32_t b1 = 1u << c1;
+      if (b1 & (cols | dl | dr)) continue;
+      total += solve(n, 2, cols | b1, ((dl | b1) << 1) & all,
+                     (dr | b1) >> 1).solutions;
+    }
+  }
+  EXPECT_EQ(total, known_solutions(n));
+}
+
+TEST(Solver, NodesGrowWithBoardSize) {
+  EXPECT_GT(solve_all(10).nodes, solve_all(8).nodes);
+  EXPECT_GT(solve_all(12).nodes, 10 * solve_all(10).nodes / 2);
+}
+
+// ------------------------------------------------------------ cost model ----
+
+TEST(SampledModel, ExactForSampledPrefixesAndPlausibleTotals) {
+  // Sample everything: estimates must be exact.
+  auto full = SampledModel::build(10, 3, 1 << 20);
+  EXPECT_EQ(full->est_total_solutions(), known_solutions(10));
+  auto exact = solve_all(10);
+  EXPECT_EQ(full->est_total_nodes() + /* interior nodes not in subtrees */ 0,
+            full->est_total_nodes());
+  EXPECT_LE(full->est_total_nodes(), exact.nodes);
+
+  // Partial sample: totals within a loose factor of truth.
+  auto part = SampledModel::build(12, 4, 300);
+  double ratio = static_cast<double>(part->est_total_solutions()) /
+                 static_cast<double>(known_solutions(12));
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(SampledModel, DeterministicDraws) {
+  auto m1 = SampledModel::build(11, 3, 50);
+  auto m2 = SampledModel::build(11, 3, 50);
+  // Same prefix -> same draw across independently built models.
+  auto r1 = m1->subtree(11, 3, 0x7, (0x7 << 1) & 0x7ff, 0x7 >> 1);
+  auto r2 = m2->subtree(11, 3, 0x7, (0x7 << 1) & 0x7ff, 0x7 >> 1);
+  EXPECT_EQ(r1.nodes, r2.nodes);
+  EXPECT_EQ(r1.solutions, r2.solutions);
+}
+
+// --------------------------------------------------------------- parallel ----
+
+class NQueensBothLayers : public ::testing::TestWithParam<LayerKind> {};
+
+TEST_P(NQueensBothLayers, FindsAllSolutionsExactMode) {
+  for (int pes : {1, 7, 32}) {
+    NQueensConfig cfg;
+    cfg.n = 10;
+    cfg.threshold = 3;
+    NQueensResult r = run_nqueens(opts(pes, GetParam()), cfg);
+    EXPECT_EQ(r.solutions, known_solutions(10)) << "pes=" << pes;
+    EXPECT_GT(r.tasks, 100u);
+    EXPECT_GT(r.elapsed, 0);
+  }
+}
+
+TEST_P(NQueensBothLayers, ThresholdControlsTaskCount) {
+  NQueensConfig shallow;
+  shallow.n = 10;
+  shallow.threshold = 2;
+  NQueensConfig deep = shallow;
+  deep.threshold = 4;
+  auto layer = GetParam();
+  NQueensResult rs = run_nqueens(opts(8, layer), shallow);
+  NQueensResult rd = run_nqueens(opts(8, layer), deep);
+  EXPECT_GT(rd.tasks, 5 * rs.tasks);
+  EXPECT_EQ(rs.solutions, rd.solutions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, NQueensBothLayers,
+                         ::testing::Values(LayerKind::kUgni, LayerKind::kMpi),
+                         [](const auto& info) {
+                           return info.param == LayerKind::kUgni ? "uGNI"
+                                                                 : "MPI";
+                         });
+
+TEST(NQueensParallel, SpeedupGrowsWithPes) {
+  NQueensConfig cfg;
+  cfg.n = 12;
+  cfg.threshold = 4;
+  NQueensResult r4 = run_nqueens(opts(4), cfg);
+  NQueensResult r32 = run_nqueens(opts(32), cfg);
+  EXPECT_EQ(r4.solutions, known_solutions(12));
+  EXPECT_EQ(r32.solutions, known_solutions(12));
+  EXPECT_GT(r32.speedup, 2.0 * r4.speedup);
+  EXPECT_LE(r32.speedup, 32.01);
+}
+
+TEST(NQueensParallel, UgniFasterThanMpiAtScale) {
+  // The paper's headline N-Queens result: many tiny messages favor the
+  // uGNI layer (Fig 11 / Table I).
+  NQueensConfig cfg;
+  cfg.n = 12;
+  cfg.threshold = 4;
+  NQueensResult ug = run_nqueens(opts(64, LayerKind::kUgni), cfg);
+  NQueensResult mp = run_nqueens(opts(64, LayerKind::kMpi), cfg);
+  EXPECT_EQ(ug.solutions, mp.solutions);
+  EXPECT_LT(ug.elapsed, mp.elapsed);
+}
+
+TEST(NQueensParallel, SampledModelRunsAndEstimates) {
+  auto model = SampledModel::build(13, 4, 200);
+  NQueensConfig cfg;
+  cfg.n = 13;
+  cfg.threshold = 4;
+  cfg.model = model.get();
+  NQueensResult r = run_nqueens(opts(16), cfg);
+  double ratio = static_cast<double>(r.solutions) /
+                 static_cast<double>(known_solutions(13));
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+  EXPECT_GT(r.tasks, 500u);
+}
+
+TEST(NQueensParallel, DeterministicAcrossRuns) {
+  NQueensConfig cfg;
+  cfg.n = 9;
+  cfg.threshold = 3;
+  NQueensResult a = run_nqueens(opts(8), cfg);
+  NQueensResult b = run_nqueens(opts(8), cfg);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.solutions, b.solutions);
+}
+
+TEST(NQueensParallel, TracerProducesUtilizationProfile) {
+  trace::Tracer tracer(50'000);  // 50us bins
+  NQueensConfig cfg;
+  cfg.n = 11;
+  cfg.threshold = 3;
+  NQueensResult r = run_nqueens(opts(8), cfg, &tracer);
+  EXPECT_EQ(r.solutions, known_solutions(11));
+  EXPECT_GT(tracer.bins(), 0u);
+  // Utilization percentages are sane and the run did useful work.
+  EXPECT_GT(tracer.total_app_pct(), 10.0);
+  EXPECT_LE(tracer.total_app_pct() + tracer.total_overhead_pct() +
+                tracer.total_idle_pct(),
+            100.5);
+}
+
+}  // namespace
+}  // namespace ugnirt::apps::nqueens

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/config.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace ugnirt {
+namespace {
+
+using namespace ugnirt::literals;
+
+// ---------------------------------------------------------------- units ----
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(microseconds(1.5), 1500);
+  EXPECT_EQ(milliseconds(2.0), 2'000'000);
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(2'000'000), 2.0);
+  EXPECT_EQ(3_us, 3000);
+  EXPECT_EQ(2_ms, 2'000'000);
+}
+
+TEST(Units, TransferTimeRoundsUpAndHandlesZeroBandwidth) {
+  EXPECT_EQ(transfer_time(1000, 1.0), 1000);
+  EXPECT_EQ(transfer_time(1001, 2.0), 501);  // 500.5 rounds up
+  EXPECT_EQ(transfer_time(0, 5.0), 0);
+  EXPECT_EQ(transfer_time(12345, 0.0), 0);
+}
+
+TEST(Units, GbPerSecondIsBytesPerNanosecond) {
+  EXPECT_DOUBLE_EQ(gb_per_s(6.0), 6.0);
+  // 6 GB/s moves 6 KB in 1 us.
+  EXPECT_EQ(transfer_time(6000, gb_per_s(6.0)), 1000);
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 17u, 1000u, 1u << 30}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng r(99);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DerivedStreamsAreIndependentAndStable) {
+  Rng root(1234);
+  Rng a1 = root.derive(1);
+  Rng a2 = root.derive(1);
+  Rng b = root.derive(2);
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  EXPECT_NE(a1.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(10.0);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.5);
+}
+
+// --------------------------------------------------------------- config ----
+
+TEST(Config, ParsesKeyValuesCommentsAndBlanks) {
+  Config c;
+  ASSERT_TRUE(c.parse_string(
+      "# a comment\n"
+      "alpha = 1\n"
+      "\n"
+      "beta=2.5  # trailing comment\n"
+      "  name  =  hello world  \n"));
+  EXPECT_EQ(c.get_int_or("alpha", -1), 1);
+  EXPECT_DOUBLE_EQ(c.get_double_or("beta", -1.0), 2.5);
+  EXPECT_EQ(c.get_string_or("name", ""), "hello world");
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Config, RejectsMalformedLines) {
+  Config c;
+  EXPECT_FALSE(c.parse_string("this has no equals\n"));
+  EXPECT_NE(c.last_error().find("line 1"), std::string::npos);
+  Config c2;
+  EXPECT_FALSE(c2.parse_string("= value\n"));
+}
+
+TEST(Config, TypedGettersRejectGarbage) {
+  Config c;
+  ASSERT_TRUE(c.parse_string("x = notanumber\ny = 12abc\n"));
+  EXPECT_FALSE(c.get_int("x").has_value());
+  EXPECT_FALSE(c.get_int("y").has_value());
+  EXPECT_FALSE(c.get_double("x").has_value());
+  EXPECT_EQ(c.get_int_or("x", 7), 7);
+}
+
+TEST(Config, BoolParsing) {
+  Config c;
+  ASSERT_TRUE(c.parse_string(
+      "a = true\nb = FALSE\nc = 1\nd = off\ne = maybe\n"));
+  EXPECT_TRUE(c.get_bool_or("a", false));
+  EXPECT_FALSE(c.get_bool_or("b", true));
+  EXPECT_TRUE(c.get_bool_or("c", false));
+  EXPECT_FALSE(c.get_bool_or("d", true));
+  EXPECT_TRUE(c.get_bool_or("e", true));  // unparsable -> fallback
+}
+
+TEST(Config, SetOverridesAndDumpIsSorted) {
+  Config c;
+  c.set("z", "1");
+  c.set("a", "2");
+  c.set("z", "3");
+  EXPECT_EQ(c.dump(), "a = 2\nz = 3\n");
+}
+
+TEST(Config, EnvOverrideAppliesToKnownAndExtraKeys) {
+  Config c;
+  ASSERT_TRUE(c.parse_string("some.key = 1\n"));
+  ::setenv("UGNIRT_SOME_KEY", "42", 1);
+  ::setenv("UGNIRT_EXTRA_KEY", "7", 1);
+  c.apply_env_overrides({"extra.key"});
+  EXPECT_EQ(c.get_int_or("some.key", -1), 42);
+  EXPECT_EQ(c.get_int_or("extra.key", -1), 7);
+  ::unsetenv("UGNIRT_SOME_KEY");
+  ::unsetenv("UGNIRT_EXTRA_KEY");
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(Stats, RunningStatBasics) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Stats, EmptyRunningStatIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SamplesPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+}  // namespace
+}  // namespace ugnirt
