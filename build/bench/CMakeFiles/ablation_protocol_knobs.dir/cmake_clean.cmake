@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_protocol_knobs.dir/ablation_protocol_knobs.cpp.o"
+  "CMakeFiles/ablation_protocol_knobs.dir/ablation_protocol_knobs.cpp.o.d"
+  "ablation_protocol_knobs"
+  "ablation_protocol_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protocol_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

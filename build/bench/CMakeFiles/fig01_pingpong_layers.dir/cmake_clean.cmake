@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pingpong_layers.dir/fig01_pingpong_layers.cpp.o"
+  "CMakeFiles/fig01_pingpong_layers.dir/fig01_pingpong_layers.cpp.o.d"
+  "fig01_pingpong_layers"
+  "fig01_pingpong_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pingpong_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

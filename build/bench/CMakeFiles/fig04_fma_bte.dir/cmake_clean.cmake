@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_fma_bte.dir/fig04_fma_bte.cpp.o"
+  "CMakeFiles/fig04_fma_bte.dir/fig04_fma_bte.cpp.o.d"
+  "fig04_fma_bte"
+  "fig04_fma_bte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fma_bte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_initial_ugni.dir/fig06_initial_ugni.cpp.o"
+  "CMakeFiles/fig06_initial_ugni.dir/fig06_initial_ugni.cpp.o.d"
+  "fig06_initial_ugni"
+  "fig06_initial_ugni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_initial_ugni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

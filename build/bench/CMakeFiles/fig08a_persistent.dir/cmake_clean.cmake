@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_persistent.dir/fig08a_persistent.cpp.o"
+  "CMakeFiles/fig08a_persistent.dir/fig08a_persistent.cpp.o.d"
+  "fig08a_persistent"
+  "fig08a_persistent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_mempool.dir/fig08b_mempool.cpp.o"
+  "CMakeFiles/fig08b_mempool.dir/fig08b_mempool.cpp.o.d"
+  "fig08b_mempool"
+  "fig08b_mempool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_mempool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08c_intranode.dir/fig08c_intranode.cpp.o"
+  "CMakeFiles/fig08c_intranode.dir/fig08c_intranode.cpp.o.d"
+  "fig08c_intranode"
+  "fig08c_intranode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08c_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_latency.dir/fig09a_latency.cpp.o"
+  "CMakeFiles/fig09a_latency.dir/fig09a_latency.cpp.o.d"
+  "fig09a_latency"
+  "fig09a_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_bandwidth.dir/fig09b_bandwidth.cpp.o"
+  "CMakeFiles/fig09b_bandwidth.dir/fig09b_bandwidth.cpp.o.d"
+  "fig09b_bandwidth"
+  "fig09b_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09c_onetoall.dir/fig09c_onetoall.cpp.o"
+  "CMakeFiles/fig09c_onetoall.dir/fig09c_onetoall.cpp.o.d"
+  "fig09c_onetoall"
+  "fig09c_onetoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09c_onetoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_kneighbor.dir/fig10_kneighbor.cpp.o"
+  "CMakeFiles/fig10_kneighbor.dir/fig10_kneighbor.cpp.o.d"
+  "fig10_kneighbor"
+  "fig10_kneighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_kneighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nqueens_profile.dir/fig12_nqueens_profile.cpp.o"
+  "CMakeFiles/fig12_nqueens_profile.dir/fig12_nqueens_profile.cpp.o.d"
+  "fig12_nqueens_profile"
+  "fig12_nqueens_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nqueens_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_namd_weak.dir/fig13_namd_weak.cpp.o"
+  "CMakeFiles/fig13_namd_weak.dir/fig13_namd_weak.cpp.o.d"
+  "fig13_namd_weak"
+  "fig13_namd_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_namd_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

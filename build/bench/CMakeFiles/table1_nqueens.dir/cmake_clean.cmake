@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_nqueens.dir/table1_nqueens.cpp.o"
+  "CMakeFiles/table1_nqueens.dir/table1_nqueens.cpp.o.d"
+  "table1_nqueens"
+  "table1_nqueens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_nqueens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

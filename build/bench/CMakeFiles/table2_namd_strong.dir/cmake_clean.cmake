@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_namd_strong.dir/table2_namd_strong.cpp.o"
+  "CMakeFiles/table2_namd_strong.dir/table2_namd_strong.cpp.o.d"
+  "table2_namd_strong"
+  "table2_namd_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_namd_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmapp_histogram.dir/dmapp_histogram.cpp.o"
+  "CMakeFiles/dmapp_histogram.dir/dmapp_histogram.cpp.o.d"
+  "dmapp_histogram"
+  "dmapp_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmapp_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

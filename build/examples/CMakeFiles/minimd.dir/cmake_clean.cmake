@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimd.dir/minimd.cpp.o"
+  "CMakeFiles/minimd.dir/minimd.cpp.o.d"
+  "minimd"
+  "minimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

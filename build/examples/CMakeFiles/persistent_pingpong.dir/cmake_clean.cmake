@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_pingpong.dir/persistent_pingpong.cpp.o"
+  "CMakeFiles/persistent_pingpong.dir/persistent_pingpong.cpp.o.d"
+  "persistent_pingpong"
+  "persistent_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_apps.dir/microbench/microbench.cpp.o"
+  "CMakeFiles/ugnirt_apps.dir/microbench/microbench.cpp.o.d"
+  "CMakeFiles/ugnirt_apps.dir/minimd/minimd.cpp.o"
+  "CMakeFiles/ugnirt_apps.dir/minimd/minimd.cpp.o.d"
+  "CMakeFiles/ugnirt_apps.dir/namdmodel/namdmodel.cpp.o"
+  "CMakeFiles/ugnirt_apps.dir/namdmodel/namdmodel.cpp.o.d"
+  "CMakeFiles/ugnirt_apps.dir/nqueens/parallel.cpp.o"
+  "CMakeFiles/ugnirt_apps.dir/nqueens/parallel.cpp.o.d"
+  "CMakeFiles/ugnirt_apps.dir/nqueens/solver.cpp.o"
+  "CMakeFiles/ugnirt_apps.dir/nqueens/solver.cpp.o.d"
+  "CMakeFiles/ugnirt_apps.dir/nqueens/subtree_model.cpp.o"
+  "CMakeFiles/ugnirt_apps.dir/nqueens/subtree_model.cpp.o.d"
+  "libugnirt_apps.a"
+  "libugnirt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

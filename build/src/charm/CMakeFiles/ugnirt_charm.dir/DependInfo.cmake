@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/charm/array.cpp" "src/charm/CMakeFiles/ugnirt_charm.dir/array.cpp.o" "gcc" "src/charm/CMakeFiles/ugnirt_charm.dir/array.cpp.o.d"
+  "/root/repo/src/charm/charm.cpp" "src/charm/CMakeFiles/ugnirt_charm.dir/charm.cpp.o" "gcc" "src/charm/CMakeFiles/ugnirt_charm.dir/charm.cpp.o.d"
+  "/root/repo/src/charm/collectives.cpp" "src/charm/CMakeFiles/ugnirt_charm.dir/collectives.cpp.o" "gcc" "src/charm/CMakeFiles/ugnirt_charm.dir/collectives.cpp.o.d"
+  "/root/repo/src/charm/lb.cpp" "src/charm/CMakeFiles/ugnirt_charm.dir/lb.cpp.o" "gcc" "src/charm/CMakeFiles/ugnirt_charm.dir/lb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/converse/CMakeFiles/ugnirt_converse.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemini/CMakeFiles/ugnirt_gemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ugnirt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ugnirt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ugnirt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ugnirt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

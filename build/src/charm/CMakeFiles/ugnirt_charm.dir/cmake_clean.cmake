@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_charm.dir/array.cpp.o"
+  "CMakeFiles/ugnirt_charm.dir/array.cpp.o.d"
+  "CMakeFiles/ugnirt_charm.dir/charm.cpp.o"
+  "CMakeFiles/ugnirt_charm.dir/charm.cpp.o.d"
+  "CMakeFiles/ugnirt_charm.dir/collectives.cpp.o"
+  "CMakeFiles/ugnirt_charm.dir/collectives.cpp.o.d"
+  "CMakeFiles/ugnirt_charm.dir/lb.cpp.o"
+  "CMakeFiles/ugnirt_charm.dir/lb.cpp.o.d"
+  "libugnirt_charm.a"
+  "libugnirt_charm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

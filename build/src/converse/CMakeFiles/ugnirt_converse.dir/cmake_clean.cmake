@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_converse.dir/machine.cpp.o"
+  "CMakeFiles/ugnirt_converse.dir/machine.cpp.o.d"
+  "libugnirt_converse.a"
+  "libugnirt_converse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_converse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_lrts.dir/__/lrts/mpi_layer.cpp.o"
+  "CMakeFiles/ugnirt_lrts.dir/__/lrts/mpi_layer.cpp.o.d"
+  "CMakeFiles/ugnirt_lrts.dir/__/lrts/runtime.cpp.o"
+  "CMakeFiles/ugnirt_lrts.dir/__/lrts/runtime.cpp.o.d"
+  "CMakeFiles/ugnirt_lrts.dir/__/lrts/smp_layer.cpp.o"
+  "CMakeFiles/ugnirt_lrts.dir/__/lrts/smp_layer.cpp.o.d"
+  "CMakeFiles/ugnirt_lrts.dir/__/lrts/ugni_layer.cpp.o"
+  "CMakeFiles/ugnirt_lrts.dir/__/lrts/ugni_layer.cpp.o.d"
+  "libugnirt_lrts.a"
+  "libugnirt_lrts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_lrts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

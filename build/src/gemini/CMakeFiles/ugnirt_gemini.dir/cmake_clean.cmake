@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_gemini.dir/machine_config.cpp.o"
+  "CMakeFiles/ugnirt_gemini.dir/machine_config.cpp.o.d"
+  "CMakeFiles/ugnirt_gemini.dir/network.cpp.o"
+  "CMakeFiles/ugnirt_gemini.dir/network.cpp.o.d"
+  "libugnirt_gemini.a"
+  "libugnirt_gemini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_gemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

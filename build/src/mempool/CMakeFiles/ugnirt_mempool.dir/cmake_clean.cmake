@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_mempool.dir/mempool.cpp.o"
+  "CMakeFiles/ugnirt_mempool.dir/mempool.cpp.o.d"
+  "libugnirt_mempool.a"
+  "libugnirt_mempool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_mempool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libugnirt_mempool.a"
+)

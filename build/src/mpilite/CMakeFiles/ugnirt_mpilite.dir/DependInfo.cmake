@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpilite/mpilite.cpp" "src/mpilite/CMakeFiles/ugnirt_mpilite.dir/mpilite.cpp.o" "gcc" "src/mpilite/CMakeFiles/ugnirt_mpilite.dir/mpilite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ugni/CMakeFiles/ugnirt_ugni.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemini/CMakeFiles/ugnirt_gemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ugnirt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ugnirt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ugnirt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

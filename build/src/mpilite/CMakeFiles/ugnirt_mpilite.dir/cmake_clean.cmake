@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_mpilite.dir/mpilite.cpp.o"
+  "CMakeFiles/ugnirt_mpilite.dir/mpilite.cpp.o.d"
+  "libugnirt_mpilite.a"
+  "libugnirt_mpilite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_mpilite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

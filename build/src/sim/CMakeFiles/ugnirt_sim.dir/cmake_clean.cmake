@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_sim.dir/context.cpp.o"
+  "CMakeFiles/ugnirt_sim.dir/context.cpp.o.d"
+  "CMakeFiles/ugnirt_sim.dir/engine.cpp.o"
+  "CMakeFiles/ugnirt_sim.dir/engine.cpp.o.d"
+  "libugnirt_sim.a"
+  "libugnirt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

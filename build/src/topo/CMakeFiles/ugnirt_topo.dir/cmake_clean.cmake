@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_topo.dir/torus.cpp.o"
+  "CMakeFiles/ugnirt_topo.dir/torus.cpp.o.d"
+  "libugnirt_topo.a"
+  "libugnirt_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_trace.dir/tracer.cpp.o"
+  "CMakeFiles/ugnirt_trace.dir/tracer.cpp.o.d"
+  "libugnirt_trace.a"
+  "libugnirt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

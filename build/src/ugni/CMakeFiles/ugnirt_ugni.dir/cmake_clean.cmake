@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_ugni.dir/dmapp.cpp.o"
+  "CMakeFiles/ugnirt_ugni.dir/dmapp.cpp.o.d"
+  "CMakeFiles/ugnirt_ugni.dir/msgq.cpp.o"
+  "CMakeFiles/ugnirt_ugni.dir/msgq.cpp.o.d"
+  "CMakeFiles/ugnirt_ugni.dir/ugni.cpp.o"
+  "CMakeFiles/ugnirt_ugni.dir/ugni.cpp.o.d"
+  "libugnirt_ugni.a"
+  "libugnirt_ugni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_ugni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

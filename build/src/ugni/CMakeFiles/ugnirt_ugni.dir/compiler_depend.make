@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ugnirt_ugni.
+# This may be replaced when dependencies are built.

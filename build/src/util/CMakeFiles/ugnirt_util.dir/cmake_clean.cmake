@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugnirt_util.dir/config.cpp.o"
+  "CMakeFiles/ugnirt_util.dir/config.cpp.o.d"
+  "CMakeFiles/ugnirt_util.dir/log.cpp.o"
+  "CMakeFiles/ugnirt_util.dir/log.cpp.o.d"
+  "CMakeFiles/ugnirt_util.dir/rng.cpp.o"
+  "CMakeFiles/ugnirt_util.dir/rng.cpp.o.d"
+  "libugnirt_util.a"
+  "libugnirt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugnirt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

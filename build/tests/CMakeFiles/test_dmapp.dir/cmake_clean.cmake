@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmapp.dir/dmapp_test.cpp.o"
+  "CMakeFiles/test_dmapp.dir/dmapp_test.cpp.o.d"
+  "test_dmapp"
+  "test_dmapp.pdb"
+  "test_dmapp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemini.dir/gemini_test.cpp.o"
+  "CMakeFiles/test_gemini.dir/gemini_test.cpp.o.d"
+  "test_gemini"
+  "test_gemini.pdb"
+  "test_gemini[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/test_integration.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ugnirt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/charm/CMakeFiles/ugnirt_charm.dir/DependInfo.cmake"
+  "/root/repo/build/src/converse/CMakeFiles/ugnirt_lrts.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpilite/CMakeFiles/ugnirt_mpilite.dir/DependInfo.cmake"
+  "/root/repo/build/src/converse/CMakeFiles/ugnirt_converse.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ugnirt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mempool/CMakeFiles/ugnirt_mempool.dir/DependInfo.cmake"
+  "/root/repo/build/src/ugni/CMakeFiles/ugnirt_ugni.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemini/CMakeFiles/ugnirt_gemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ugnirt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ugnirt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ugnirt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimd_property.dir/minimd_property_test.cpp.o"
+  "CMakeFiles/test_minimd_property.dir/minimd_property_test.cpp.o.d"
+  "test_minimd_property"
+  "test_minimd_property.pdb"
+  "test_minimd_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimd_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

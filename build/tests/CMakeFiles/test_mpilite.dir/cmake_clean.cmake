@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpilite.dir/mpilite_test.cpp.o"
+  "CMakeFiles/test_mpilite.dir/mpilite_test.cpp.o.d"
+  "test_mpilite"
+  "test_mpilite.pdb"
+  "test_mpilite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpilite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpilite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msgq.dir/msgq_test.cpp.o"
+  "CMakeFiles/test_msgq.dir/msgq_test.cpp.o.d"
+  "test_msgq"
+  "test_msgq.pdb"
+  "test_msgq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msgq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nqueens.dir/nqueens_test.cpp.o"
+  "CMakeFiles/test_nqueens.dir/nqueens_test.cpp.o.d"
+  "test_nqueens"
+  "test_nqueens.pdb"
+  "test_nqueens[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nqueens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

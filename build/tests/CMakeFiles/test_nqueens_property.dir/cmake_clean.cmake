@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nqueens_property.dir/nqueens_property_test.cpp.o"
+  "CMakeFiles/test_nqueens_property.dir/nqueens_property_test.cpp.o.d"
+  "test_nqueens_property"
+  "test_nqueens_property.pdb"
+  "test_nqueens_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nqueens_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

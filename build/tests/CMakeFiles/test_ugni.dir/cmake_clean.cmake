@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ugni.dir/ugni_test.cpp.o"
+  "CMakeFiles/test_ugni.dir/ugni_test.cpp.o.d"
+  "test_ugni"
+  "test_ugni.pdb"
+  "test_ugni[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ugni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

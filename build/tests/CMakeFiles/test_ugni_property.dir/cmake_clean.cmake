@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ugni_property.dir/ugni_property_test.cpp.o"
+  "CMakeFiles/test_ugni_property.dir/ugni_property_test.cpp.o.d"
+  "test_ugni_property"
+  "test_ugni_property.pdb"
+  "test_ugni_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ugni_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

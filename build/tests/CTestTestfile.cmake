@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_config_file[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_gemini[1]_include.cmake")
+include("/root/repo/build/tests/test_ugni[1]_include.cmake")
+include("/root/repo/build/tests/test_mempool[1]_include.cmake")
+include("/root/repo/build/tests/test_mpilite[1]_include.cmake")
+include("/root/repo/build/tests/test_converse[1]_include.cmake")
+include("/root/repo/build/tests/test_charm[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_nqueens[1]_include.cmake")
+include("/root/repo/build/tests/test_nqueens_property[1]_include.cmake")
+include("/root/repo/build/tests/test_minimd_property[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_ugni_property[1]_include.cmake")
+include("/root/repo/build/tests/test_msgq[1]_include.cmake")
+include("/root/repo/build/tests/test_dmapp[1]_include.cmake")
+include("/root/repo/build/tests/test_smp[1]_include.cmake")
