@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/session.hpp"
 #include "util/units.hpp"
 
 namespace ugnirt::benchtool {
@@ -24,7 +25,12 @@ inline bool csv_enabled() {
 class Table {
  public:
   Table(std::string name, std::string x_label)
-      : name_(std::move(name)), x_label_(std::move(x_label)) {}
+      : name_(std::move(name)), x_label_(std::move(x_label)) {
+    // When UGNIRT_TRACE is on, name the trace output after the benchmark so
+    // each figure gets its own <name>.trace.json / .metrics.csv set.
+    if (trace::TraceSession* session = trace::TraceSession::active())
+      session->set_output_base(name_);
+  }
 
   void add_column(std::string label) { columns_.push_back(std::move(label)); }
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <ostream>
 
+#include "trace/events.hpp"
+#include "trace/session.hpp"
 #include "trace/tracer.hpp"
 
 namespace ugnirt::converse {
@@ -25,6 +28,8 @@ void MachineLayer::send_persistent(sim::Context&, Pe&, PersistentHandle,
                                    std::uint32_t, void*) {
   assert(false && "persistent sends need a layer that supports them");
 }
+
+void MachineLayer::collect_metrics(trace::MetricsRegistry&) {}
 
 // ---------------------------------------------------------------------------
 // Pe
@@ -79,9 +84,16 @@ void Pe::run_step(SimTime t) {
     if (!sched_q_.empty()) {
       void* msg = sched_q_.front();
       sched_q_.pop_front();
+      const SimTime exec_start = ctx_.now();
+      const std::uint32_t msg_size = header_of(msg)->size;
+      const std::int32_t msg_src = header_of(msg)->src_pe;
       m.dispatch(*this, msg);
       ++msgs_executed_;
       ++m.stats_.msgs_executed;
+      if (trace::enabled()) {
+        trace::emit(trace::Ev::kMsgExec, exec_start, ctx_.now() - exec_start,
+                    msg_src, msg_size);
+      }
     }
   }
   m.current_pe_ = prev_pe;
@@ -138,7 +150,27 @@ Machine::Machine(MachineOptions options, std::unique_ptr<MachineLayer> layer)
 }
 
 Machine::~Machine() {
+  // Hand this machine's metrics to the session aggregate (if tracing is
+  // on) so short-lived machines inside bench loops are not lost.
+  if (trace::TraceSession* session = trace::TraceSession::active()) {
+    collect_metrics();
+    session->absorb(metrics_);
+  }
   if (g_running == this) g_running = nullptr;
+}
+
+void Machine::collect_metrics() {
+  layer_->collect_metrics(metrics_);
+  network_->collect_metrics(metrics_);
+  metrics_.counter("converse.msgs_sent").set(stats_.msgs_sent);
+  metrics_.counter("converse.msgs_executed").set(stats_.msgs_executed);
+  metrics_.counter("converse.bytes_sent").set(stats_.bytes_sent);
+  metrics_.counter("converse.sched_steps").set(stats_.steps);
+}
+
+void Machine::dump_metrics(std::ostream& out) {
+  collect_metrics();
+  metrics_.dump_table(out);
 }
 
 int Machine::register_handler(CmiHandler fn) {

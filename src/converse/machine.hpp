@@ -26,6 +26,7 @@
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "converse/message.hpp"
+#include "trace/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace ugnirt::trace {
@@ -171,6 +172,10 @@ class MachineLayer {
   /// stalled sends, pending acks) and wants more advance() calls.
   virtual bool has_backlog(const Pe& pe) const = 0;
 
+  /// Publish point-in-time gauges (mailbox/pool/CQ state) into the
+  /// registry.  Counters are bound at init and need no collection step.
+  virtual void collect_metrics(trace::MetricsRegistry& reg);
+
   // Persistent-message API (paper §IV-A).  Layers without support return an
   // invalid handle (callers fall back to plain sends).
   virtual PersistentHandle create_persistent(sim::Context& ctx, Pe& src,
@@ -253,6 +258,15 @@ class Machine {
 
   const MachineStats& stats() const { return stats_; }
 
+  // ---- observability ----
+  /// This machine's metrics registry; layers bind their counters here.
+  trace::MetricsRegistry& metrics() { return metrics_; }
+  /// Refresh point-in-time gauges (layer + network) and dump the registry
+  /// as a text table.
+  void dump_metrics(std::ostream& out);
+  /// collect_metrics() from the layer and network into the registry.
+  void collect_metrics();
+
   /// Spanning-tree helpers shared by broadcast / reductions (k-ary tree).
   static constexpr int kTreeFanout = 4;
   int tree_parent(int pe) const { return pe == 0 ? -1 : (pe - 1) / kTreeFanout; }
@@ -273,6 +287,7 @@ class Machine {
   std::vector<std::uint64_t> qd_created_;
   std::vector<std::uint64_t> qd_processed_;
   MachineStats stats_;
+  trace::MetricsRegistry metrics_;
   trace::Tracer* tracer_ = nullptr;
   Pe* current_pe_ = nullptr;
 };

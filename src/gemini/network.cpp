@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
 
 namespace ugnirt::gemini {
 
@@ -39,7 +40,13 @@ SimTime Network::LinkSchedule::reserve(SimTime earliest, SimTime duration,
     if (candidate + duration <= b.start) break;  // fits before this interval
     if (b.end > candidate) candidate = b.end;    // pushed past it
   }
-  if (candidate > earliest) *waited = true;
+  if (candidate > earliest) {
+    *waited = true;
+    ++waits_;
+    wait_ns_ += candidate - earliest;
+  }
+  ++reservations_;
+  busy_ns_ += duration;
   busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(insert_at),
                Busy{candidate, candidate + duration});
   // Merge touching neighbors and bound the bookkeeping.
@@ -165,6 +172,42 @@ TransferTimes Network::transfer(const TransferRequest& req) {
   }
   assert(t.data_arrival >= req.issue);
   return t;
+}
+
+void Network::collect_metrics(trace::MetricsRegistry& reg) const {
+  reg.counter("net.transfers").set(stats_.transfers);
+  reg.counter("net.bytes_smsg").set(stats_.bytes_smsg);
+  reg.counter("net.bytes_fma").set(stats_.bytes_fma);
+  reg.counter("net.bytes_bte").set(stats_.bytes_bte);
+  reg.counter("net.link_conflicts").set(stats_.link_conflicts);
+  std::uint64_t waits = 0;
+  SimTime wait_ns = 0;
+  RunningStat& busy = reg.stat("net.link_busy_ns");
+  for (const LinkSchedule& link : links_) {
+    if (link.reservations() == 0) continue;  // untouched links skew the mean
+    waits += link.waits();
+    wait_ns += link.wait_ns();
+    busy.add(static_cast<double>(link.busy_ns()));
+  }
+  reg.counter("net.link_waits").set(waits);
+  reg.counter("net.link_wait_ns").set(static_cast<std::uint64_t>(wait_ns));
+}
+
+void Network::write_link_csv(std::ostream& out) const {
+  out << "link,node,x,y,z,dim,dir,reservations,busy_ns,waits,wait_ns\n";
+  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
+    const LinkSchedule& link = links_[idx];
+    if (link.reservations() == 0) continue;
+    // Inverse of topo::link_index: 6 directional links per node.
+    int node = static_cast<int>(idx / 6);
+    int dim = static_cast<int>((idx % 6) / 2);
+    bool positive = (idx % 2) != 0;
+    topo::Coord c = torus_.coord_of(node);
+    out << idx << ',' << node << ',' << c.x << ',' << c.y << ',' << c.z
+        << ',' << "xyz"[dim] << ',' << (positive ? '+' : '-') << ','
+        << link.reservations() << ',' << link.busy_ns() << ','
+        << link.waits() << ',' << link.wait_ns() << '\n';
+  }
 }
 
 }  // namespace ugnirt::gemini

@@ -18,11 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "gemini/machine_config.hpp"
 #include "sim/engine.hpp"
 #include "topo/torus.hpp"
+#include "trace/metrics.hpp"
 #include "util/units.hpp"
 
 namespace ugnirt::gemini {
@@ -80,6 +82,16 @@ class Network {
 
   int hops(int a, int b) const { return torus_.hops(a, b); }
 
+  /// Publish network-wide counters (net.transfers, net.bytes_*,
+  /// net.link_conflicts, net.link_waits) plus per-link occupancy as a
+  /// "net.link_busy_ns" distribution over links that carried traffic.
+  void collect_metrics(trace::MetricsRegistry& reg) const;
+
+  /// Per-link occupancy rows for congestion heatmaps:
+  /// `link,node,x,y,z,dim,dir,reservations,busy_ns,waits,wait_ns`.
+  /// Links that never carried traffic are omitted.
+  void write_link_csv(std::ostream& out) const;
+
  private:
   /// Reserve every link on the route for `duration` starting no earlier than
   /// `earliest`; returns the actual start (>= earliest) honoring occupancy.
@@ -96,6 +108,11 @@ class Network {
     /// reserves it.  Sets *waited when the start had to move.
     SimTime reserve(SimTime earliest, SimTime duration, bool* waited);
 
+    std::uint64_t reservations() const { return reservations_; }
+    SimTime busy_ns() const { return busy_ns_; }
+    std::uint64_t waits() const { return waits_; }
+    SimTime wait_ns() const { return wait_ns_; }
+
    private:
     struct Busy {
       SimTime start;
@@ -103,6 +120,10 @@ class Network {
     };
     static constexpr std::size_t kMaxIntervals = 16;
     std::vector<Busy> busy_;  // sorted by start, non-overlapping
+    std::uint64_t reservations_ = 0;  // transfers routed over this link
+    SimTime busy_ns_ = 0;             // total reserved wire time
+    std::uint64_t waits_ = 0;         // reservations pushed past `earliest`
+    SimTime wait_ns_ = 0;             // total queueing delay incurred
   };
 
   /// One-way wire propagation between the nodes.

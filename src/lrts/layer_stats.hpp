@@ -1,0 +1,30 @@
+// Shared machine-layer statistics snapshot.
+//
+// Historically each LRTS layer kept its own private stats struct with its
+// own field set; they are unified here as one snapshot type backed by the
+// machine's trace::MetricsRegistry.  Layers bump registry counters on the
+// hot path (cached Counter pointers, one increment each) and materialize
+// this struct on demand in stats().  Fields a layer does not produce stay
+// zero.
+#pragma once
+
+#include <cstdint>
+
+namespace ugnirt::lrts {
+
+struct LayerStats {
+  // uGNI layer (single-PE processes).
+  std::uint64_t smsg_sends = 0;        // mailbox sends that left this PE
+  std::uint64_t rendezvous_gets = 0;   // GETs posted for INIT_TAG messages
+  std::uint64_t persistent_puts = 0;   // persistent-channel PUTs
+  std::uint64_t pxshm_msgs = 0;        // intra-node shm deliveries
+  std::uint64_t credit_stalls = 0;     // sends deferred on mailbox credits
+  std::uint64_t registrations = 0;     // MemRegister calls on send paths
+
+  // SMP layer (node-wide processes with a comm thread).
+  std::uint64_t intra_node_ptr_msgs = 0;     // zero-copy worker-to-worker
+  std::uint64_t comm_thread_sends = 0;
+  std::uint64_t comm_thread_busy_defers = 0;
+};
+
+}  // namespace ugnirt::lrts

@@ -114,4 +114,17 @@ bool MpiLayer::has_backlog(const converse::Pe& pe) const {
   return comm_ && comm_->has_send_backlog(pe.id());
 }
 
+void MpiLayer::collect_metrics(trace::MetricsRegistry& reg) {
+  if (!comm_) return;
+  const mpilite::MpiStats& s = comm_->stats();
+  reg.counter("mpi.sends_e0").set(s.sends_e0);
+  reg.counter("mpi.sends_e1").set(s.sends_e1);
+  reg.counter("mpi.sends_rndv").set(s.sends_rndv);
+  reg.counter("mpi.unexpected").set(s.unexpected);
+  const mpilite::UdregStats& u = comm_->udreg_stats();
+  reg.counter("mpi.udreg_hits").set(u.hits);
+  reg.counter("mpi.udreg_misses").set(u.misses);
+  reg.counter("mpi.udreg_evictions").set(u.evictions);
+}
+
 }  // namespace ugnirt::lrts

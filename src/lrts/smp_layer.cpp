@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "trace/events.hpp"
+#include "util/log.hpp"
+
 namespace ugnirt::lrts {
 
 using converse::CmiMsgHeader;
@@ -116,6 +119,11 @@ SmpLayer::~SmpLayer() {
 void SmpLayer::ensure_domain(converse::Machine& m) {
   if (domain_) return;
   machine_ = &m;
+  trace::MetricsRegistry& reg = m.metrics();
+  c_intra_node_ptr_msgs_ = &reg.counter("smp.intra_node_ptr_msgs");
+  c_comm_thread_sends_ = &reg.counter("smp.comm_thread_sends");
+  c_rendezvous_gets_ = &reg.counter("smp.rendezvous_gets");
+  c_comm_thread_busy_defers_ = &reg.counter("smp.comm_thread_busy_defers");
   domain_ = std::make_unique<ugni::Domain>(m.network());
   smsg_cap_ = m.options().mc.smsg_max_for_job(m.options().nodes());
   nodes_.resize(static_cast<std::size_t>(m.options().nodes()));
@@ -140,6 +148,8 @@ void SmpLayer::ensure_domain(converse::Machine& m) {
     ns->nic->set_credit_notify(wake_hook);
     nodes_[static_cast<std::size_t>(n)] = std::move(ns);
   }
+  UGNIRT_DEBUG("SMP layer up: " << m.options().nodes()
+                                << " nodes, smsg cap " << smsg_cap_ << " B");
 }
 
 void SmpLayer::init_pe(converse::Pe& pe) {
@@ -192,6 +202,37 @@ ugni::gni_ep_handle_t SmpLayer::ensure_channel(sim::Context& ctx,
 
 std::uint64_t SmpLayer::total_mailbox_bytes() const {
   return domain_ ? domain_->total_mailbox_bytes() : 0;
+}
+
+LayerStats SmpLayer::stats() const {
+  LayerStats out;
+  if (!c_intra_node_ptr_msgs_) return out;  // counters not bound yet
+  out.intra_node_ptr_msgs = c_intra_node_ptr_msgs_->value();
+  out.comm_thread_sends = c_comm_thread_sends_->value();
+  out.rendezvous_gets = c_rendezvous_gets_->value();
+  out.comm_thread_busy_defers = c_comm_thread_busy_defers_->value();
+  return out;
+}
+
+void SmpLayer::collect_metrics(trace::MetricsRegistry& reg) {
+  if (domain_) domain_->collect_metrics(reg);
+  mempool::MemPoolStats pool;
+  for (const auto& n : nodes_) {
+    if (!n || !n->pool) continue;
+    const mempool::MemPoolStats& p = n->pool->stats();
+    pool.allocs += p.allocs;
+    pool.frees += p.frees;
+    pool.expansions += p.expansions;
+    pool.slab_bytes += p.slab_bytes;
+    pool.outstanding += p.outstanding;
+    pool.freelist_hits += p.freelist_hits;
+  }
+  reg.counter("mempool.allocs").set(pool.allocs);
+  reg.counter("mempool.frees").set(pool.frees);
+  reg.counter("mempool.expansions").set(pool.expansions);
+  reg.counter("mempool.freelist_hits").set(pool.freelist_hits);
+  reg.gauge("mempool.slab_bytes").set(static_cast<double>(pool.slab_bytes));
+  reg.gauge("mempool.outstanding").set(static_cast<double>(pool.outstanding));
 }
 
 // ---------------------------------------------------------------------------
@@ -247,7 +288,7 @@ void SmpLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
   if (m.node_of_pe(dest_pe) == src.node()) {
     // Same address space: hand the pointer straight to the peer worker.
     ctx.charge(kSmpPtrSendNs);
-    ++stats_.intra_node_ptr_msgs;
+    c_intra_node_ptr_msgs_->inc();
     m.pe(dest_pe).enqueue(msg, ctx.now());
     return;
   }
@@ -315,7 +356,7 @@ void SmpLayer::comm_step(NodeState& n, SimTime t) {
       continue;
     }
     ctx.charge(kSmpDequeueNs);
-    ++stats_.comm_thread_sends;
+    c_comm_thread_sends_->inc();
     if (out.size + 4 <= smsg_cap_) {  // +4: worker routing prefix
       comm_send(ctx, n, out.dest_pe, kTagData, out.msg, out.size, out.msg);
       continue;
@@ -340,13 +381,15 @@ void SmpLayer::comm_step(NodeState& n, SimTime t) {
     ctrl.hndl = hndl;
     ctrl.size = out.size;
     ctrl.dest_pe = out.dest_pe;
+    if (trace::enabled())
+      trace::emit(trace::Ev::kRdvInit, ctx.now(), 0, out.dest_pe, out.size);
     comm_send(ctx, n, out.dest_pe, kTagInit, &ctrl, sizeof(ctrl), nullptr);
   }
   n.outq.swap(later);
 
   n.comm_avail = ctx.now();
   if (!n.outq.empty() || !n.backlog.empty()) {
-    ++stats_.comm_thread_busy_defers;
+    c_comm_thread_busy_defers_->inc();
     SimTime next = n.comm_avail + (n.backlog.empty() ? 0 : 500);
     for (const auto& out : n.outq) next = std::min(next, out.ready);
     comm_wake(n, std::max(next, n.comm_avail));
@@ -505,7 +548,9 @@ void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
                                   : ugni::GNI_PostRdma(back, lr.desc.get());
       assert(pr == ugni::GNI_RC_SUCCESS);
       (void)pr;
-      ++stats_.rendezvous_gets;
+      c_rendezvous_gets_->inc();
+      if (trace::enabled())
+        trace::emit(trace::Ev::kRdvGet, ctx.now(), 0, lr.src_node, ctrl.size);
       n.recvs.emplace(rid, std::move(lr));
       break;
     }
@@ -543,6 +588,9 @@ void SmpLayer::comm_handle_completion(sim::Context& ctx, NodeState& n,
                  (unsigned long long)lr.send_id, lr.dest_pe,
                  (long long)ctx.now());
   AckCtrl ack{lr.send_id};
+  if (trace::enabled())
+    trace::emit(trace::Ev::kRdvAck, ctx.now(), 0, lr.src_node,
+                static_cast<std::uint32_t>(desc->length));
   // Route the ACK back via a worker-agnostic control message to any PE of
   // the source node (only the node matters for ACKs).
   int dest_pe_on_src_node =

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "converse/machine.hpp"
+#include "lrts/layer_stats.hpp"
 #include "mempool/mempool.hpp"
 #include "ugni/ugni.hpp"
 
@@ -49,13 +50,11 @@ class SmpLayer final : public converse::MachineLayer {
   void advance(sim::Context& ctx, converse::Pe& pe) override;
   bool has_backlog(const converse::Pe& pe) const override;
 
-  struct LayerStats {
-    std::uint64_t intra_node_ptr_msgs = 0;  // zero-copy worker-to-worker
-    std::uint64_t comm_thread_sends = 0;
-    std::uint64_t rendezvous_gets = 0;
-    std::uint64_t comm_thread_busy_defers = 0;
-  };
-  const LayerStats& stats() const { return stats_; }
+  /// Snapshot of this layer's registry-backed counters (zeros before the
+  /// first init_pe binds them).
+  LayerStats stats() const;
+
+  void collect_metrics(trace::MetricsRegistry& reg) override;
 
   /// Mailbox memory across the job: grows with node pairs, not PE pairs.
   std::uint64_t total_mailbox_bytes() const;
@@ -84,7 +83,12 @@ class SmpLayer final : public converse::MachineLayer {
   std::unique_ptr<ugni::Domain> domain_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::uint32_t smsg_cap_ = 1024;
-  LayerStats stats_;
+
+  // Hot-path counters bound to the machine registry in ensure_domain.
+  trace::Counter* c_intra_node_ptr_msgs_ = nullptr;
+  trace::Counter* c_comm_thread_sends_ = nullptr;
+  trace::Counter* c_rendezvous_gets_ = nullptr;
+  trace::Counter* c_comm_thread_busy_defers_ = nullptr;
 };
 
 }  // namespace ugnirt::lrts

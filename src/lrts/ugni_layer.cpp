@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "trace/events.hpp"
 #include "ugni/msgq.hpp"
 #include "util/log.hpp"
 
@@ -148,6 +149,39 @@ std::uint64_t UgniLayer::total_mailbox_bytes() const {
   return domain_ ? domain_->total_mailbox_bytes() : 0;
 }
 
+LayerStats UgniLayer::stats() const {
+  LayerStats out;
+  if (!c_smsg_sends_) return out;  // init_pe has not bound the counters
+  out.smsg_sends = c_smsg_sends_->value();
+  out.rendezvous_gets = c_rendezvous_gets_->value();
+  out.persistent_puts = c_persistent_puts_->value();
+  out.pxshm_msgs = c_pxshm_msgs_->value();
+  out.credit_stalls = c_credit_stalls_->value();
+  out.registrations = c_registrations_->value();
+  return out;
+}
+
+void UgniLayer::collect_metrics(trace::MetricsRegistry& reg) {
+  if (domain_) domain_->collect_metrics(reg);
+  mempool::MemPoolStats pool;
+  for (const PeState* s : states_) {
+    if (!s || !s->pool) continue;
+    const mempool::MemPoolStats& p = s->pool->stats();
+    pool.allocs += p.allocs;
+    pool.frees += p.frees;
+    pool.expansions += p.expansions;
+    pool.slab_bytes += p.slab_bytes;
+    pool.outstanding += p.outstanding;
+    pool.freelist_hits += p.freelist_hits;
+  }
+  reg.counter("mempool.allocs").set(pool.allocs);
+  reg.counter("mempool.frees").set(pool.frees);
+  reg.counter("mempool.expansions").set(pool.expansions);
+  reg.counter("mempool.freelist_hits").set(pool.freelist_hits);
+  reg.gauge("mempool.slab_bytes").set(static_cast<double>(pool.slab_bytes));
+  reg.gauge("mempool.outstanding").set(static_cast<double>(pool.outstanding));
+}
+
 UgniLayer::PeState& UgniLayer::state(converse::Pe& pe) {
   return *static_cast<PeState*>(pe.layer_state());
 }
@@ -159,6 +193,13 @@ UgniLayer::PeState& UgniLayer::state_of(int pe_id) {
 void UgniLayer::ensure_domain(converse::Machine& m) {
   if (domain_) return;
   machine_ = &m;
+  trace::MetricsRegistry& reg = m.metrics();
+  c_smsg_sends_ = &reg.counter("ugni.smsg_sends");
+  c_rendezvous_gets_ = &reg.counter("ugni.rendezvous_gets");
+  c_persistent_puts_ = &reg.counter("ugni.persistent_puts");
+  c_pxshm_msgs_ = &reg.counter("ugni.pxshm_msgs");
+  c_credit_stalls_ = &reg.counter("ugni.credit_stalls");
+  c_registrations_ = &reg.counter("ugni.registrations");
   domain_ = std::make_unique<ugni::Domain>(m.network());
   states_.resize(static_cast<std::size_t>(m.num_pes()), nullptr);
   node_shm_.resize(static_cast<std::size_t>(m.options().nodes()));
@@ -168,6 +209,8 @@ void UgniLayer::ensure_domain(converse::Machine& m) {
         m.options().effective_pes_per_node()));
   }
   smsg_cap_ = m.options().mc.smsg_max_for_job(m.num_pes());
+  UGNIRT_DEBUG("uGNI layer up: " << m.num_pes() << " PEs, smsg cap "
+                                 << smsg_cap_ << " B");
 }
 
 void UgniLayer::init_pe(converse::Pe& pe) {
@@ -250,7 +293,7 @@ ugni::gni_ep_handle_t UgniLayer::ensure_channel(sim::Context& ctx,
                                    attr.mbox_maxcredit) *
                                (attr.msg_maxsize + 16);
     ctx.charge(2 * mc.reg_cost(mbox));  // both mailboxes pinned
-    stats_.registrations += 2;
+    c_registrations_->inc(2);
   }
   return fwd;
 }
@@ -308,14 +351,19 @@ void UgniLayer::smsg_send(sim::Context& ctx, PeState& src, int dest_pe,
                                  tag)
             : ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, tag);
     if (rc == ugni::GNI_RC_SUCCESS) {
-      ++stats_.smsg_sends;
+      c_smsg_sends_->inc();
       if (owned_msg) free_msg(ctx, *src.pe, owned_msg);
       return;
     }
     assert(rc == ugni::GNI_RC_NOT_DONE);
   }
   // Out of credits (or draining in order behind earlier stalls): queue.
-  ++stats_.credit_stalls;
+  c_credit_stalls_->inc();
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kCreditStall, ctx.now(), 0, dest_pe, len);
+  }
+  UGNIRT_TRACELOG("smsg credit stall -> pe " << dest_pe << " (" << len
+                                             << " B queued)");
   PeState::Pending p;
   p.dest_pe = dest_pe;
   p.tag = tag;
@@ -344,7 +392,7 @@ void UgniLayer::flush_backlog(sim::Context& ctx, PeState& s) {
       rc = ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, p.tag);
     }
     if (rc != ugni::GNI_RC_SUCCESS) return;  // still stalled
-    ++stats_.smsg_sends;
+    c_smsg_sends_->inc();
     if (p.msg) free_msg(ctx, *s.pe, p.msg);
     s.backlog.pop_front();
   }
@@ -383,10 +431,13 @@ void UgniLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
     assert(rc == ugni::GNI_RC_SUCCESS);
     (void)rc;
     ls.registered = true;
-    ++stats_.registrations;
+    c_registrations_->inc();
   }
   std::uint64_t id = s.next_send_id++;
   s.sends.emplace(id, ls);
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kRdvInit, ctx.now(), 0, dest_pe, size);
+  }
 
   InitCtrl ctrl;
   ctrl.send_id = id;
@@ -494,7 +545,7 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
         assert(rr == ugni::GNI_RC_SUCCESS);
         (void)rr;
         lr.registered = true;
-        ++stats_.registrations;
+        c_registrations_->inc();
       }
       lr.desc = std::make_unique<ugni::gni_post_descriptor_t>();
       lr.desc->type = ctrl.size < mc.rdma_threshold
@@ -515,7 +566,11 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
               : ugni::GNI_PostRdma(back, lr.desc.get());
       assert(pr == ugni::GNI_RC_SUCCESS);
       (void)pr;
-      ++stats_.rendezvous_gets;
+      c_rendezvous_gets_->inc();
+      if (trace::enabled()) {
+        trace::emit(trace::Ev::kRdvGet, ctx.now(), 0, ctrl.src_pe,
+                    ctrl.size);
+      }
       s.recvs.emplace(rid, std::move(lr));
       break;
     }
@@ -561,6 +616,10 @@ void UgniLayer::handle_completion(sim::Context& ctx, converse::Pe& pe,
     // Our GET finished: ACK the sender, deliver the message (Fig 5).
     PeState::LargeRecv& lr = it->second;
     AckCtrl ack{lr.send_id};
+    if (trace::enabled()) {
+      trace::emit(trace::Ev::kRdvAck, ctx.now(), 0, lr.src_pe,
+                  static_cast<std::uint32_t>(desc->length));
+    }
     smsg_send(ctx, s, lr.src_pe, kTagAck, &ack, sizeof(ack), nullptr);
     if (lr.registered) {
       ugni::GNI_MemDeregister(s.nic, &lr.local_hndl);
@@ -693,7 +752,10 @@ void UgniLayer::send_persistent(sim::Context& ctx, converse::Pe& src,
                               : ugni::GNI_PostRdma(ep, ps.desc.get());
   assert(rc == ugni::GNI_RC_SUCCESS);
   (void)rc;
-  ++stats_.persistent_puts;
+  c_persistent_puts_->inc();
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kPersistPut, ctx.now(), 0, tx.dest_pe, size);
+  }
   s.persist_sends.emplace(pid, std::move(ps));
 }
 
@@ -710,7 +772,10 @@ void UgniLayer::pxshm_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
 
   // Sender-side copy into the shared region (both modes copy in).
   ctx.charge(mc.memcpy_cost(size) + mc.pxshm_notify_ns);
-  ++stats_.pxshm_msgs;
+  c_pxshm_msgs_->inc();
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kPxshmEnq, ctx.now(), 0, dest_pe, size);
+  }
 
   NodeShm::Entry e;
   e.size = size;
@@ -738,6 +803,10 @@ void UgniLayer::pxshm_poll(sim::Context& ctx, converse::Pe& pe) {
   while (!q.empty() && q.front().at <= ctx.now()) {
     NodeShm::Entry e = q.front();
     q.pop_front();
+    if (trace::enabled()) {
+      trace::emit(trace::Ev::kPxshmDeq, ctx.now(), 0,
+                  header_of(e.msg)->src_pe, e.size);
+    }
     if (m.options().pxshm_single_copy) {
       // alloc_pe stays the sender: CmiFree routes back to its pool.
       pe.enqueue(e.msg, ctx.now());

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "converse/machine.hpp"
+#include "lrts/layer_stats.hpp"
 #include "mempool/mempool.hpp"
 #include "ugni/ugni.hpp"
 
@@ -57,15 +58,11 @@ class UgniLayer final : public converse::MachineLayer {
                        converse::PersistentHandle handle, std::uint32_t size,
                        void* msg) override;
 
-  struct LayerStats {
-    std::uint64_t smsg_sends = 0;
-    std::uint64_t rendezvous_gets = 0;
-    std::uint64_t persistent_puts = 0;
-    std::uint64_t pxshm_msgs = 0;
-    std::uint64_t credit_stalls = 0;
-    std::uint64_t registrations = 0;
-  };
-  const LayerStats& stats() const { return stats_; }
+  /// Snapshot of this layer's registry-backed counters (zeros before the
+  /// first init_pe binds them).
+  LayerStats stats() const;
+
+  void collect_metrics(trace::MetricsRegistry& reg) override;
 
   /// Job-wide SMSG payload cap (depends on PE count; paper §III-C).
   std::uint32_t smsg_cap() const { return smsg_cap_; }
@@ -109,7 +106,15 @@ class UgniLayer final : public converse::MachineLayer {
   std::vector<PeState*> states_;  // borrowed; owned by Pe::layer_state
   std::vector<std::unique_ptr<NodeShm>> node_shm_;
   std::uint32_t smsg_cap_ = 1024;
-  LayerStats stats_;
+
+  // Hot-path counters, bound to the machine registry in ensure_domain
+  // (std::map node addresses are stable, so the pointers stay valid).
+  trace::Counter* c_smsg_sends_ = nullptr;
+  trace::Counter* c_rendezvous_gets_ = nullptr;
+  trace::Counter* c_persistent_puts_ = nullptr;
+  trace::Counter* c_pxshm_msgs_ = nullptr;
+  trace::Counter* c_credit_stalls_ = nullptr;
+  trace::Counter* c_registrations_ = nullptr;
 };
 
 }  // namespace ugnirt::lrts

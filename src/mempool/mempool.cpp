@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "trace/events.hpp"
+#include "util/log.hpp"
+
 namespace ugnirt::mempool {
 
 namespace {
@@ -71,6 +74,13 @@ void MemPool::add_slab(std::size_t min_bytes) {
   slabs_.push_back(std::move(slab));
   stats_.slab_bytes += size;
   ++stats_.expansions;
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kPoolExpand, ctx().now(), 0, /*peer=*/-1,
+                static_cast<std::uint32_t>(size));
+  }
+  UGNIRT_DEBUG("mempool slab +" << size << " B (total "
+                                << stats_.slab_bytes << " B, "
+                                << stats_.expansions << " expansions)");
 }
 
 void* MemPool::carve(std::size_t bin, std::size_t block) {
@@ -104,7 +114,15 @@ void* MemPool::alloc(std::size_t bytes) {
     fl.pop_back();
     header_of(p)->magic = kMagicLive;
     ++stats_.freelist_hits;
+    if (trace::enabled()) {
+      trace::emit(trace::Ev::kPoolHit, ctx().now(), 0, /*peer=*/-1,
+                  static_cast<std::uint32_t>(bytes));
+    }
     return p;
+  }
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kPoolMiss, ctx().now(), 0, /*peer=*/-1,
+                static_cast<std::uint32_t>(bytes));
   }
   return carve(bin, bin_block_size(bin));
 }

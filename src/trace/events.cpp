@@ -1,0 +1,146 @@
+#include "trace/events.hpp"
+
+#include <ostream>
+
+#include "sim/context.hpp"
+
+namespace ugnirt::trace {
+
+const char* event_name(Ev type) {
+  switch (type) {
+    case Ev::kSmsgSend:
+      return "smsg_send";
+    case Ev::kSmsgRecv:
+      return "smsg_recv";
+    case Ev::kMsgqSend:
+      return "msgq_send";
+    case Ev::kRdvInit:
+      return "rdv_init";
+    case Ev::kRdvGet:
+      return "rdv_get";
+    case Ev::kRdvAck:
+      return "rdv_ack";
+    case Ev::kFmaPost:
+      return "fma_post";
+    case Ev::kBtePost:
+      return "bte_post";
+    case Ev::kPostDone:
+      return "post_done";
+    case Ev::kMemReg:
+      return "mem_register";
+    case Ev::kMemDereg:
+      return "mem_deregister";
+    case Ev::kPoolHit:
+      return "pool_hit";
+    case Ev::kPoolMiss:
+      return "pool_miss";
+    case Ev::kPoolExpand:
+      return "pool_expand";
+    case Ev::kPersistPut:
+      return "persist_put";
+    case Ev::kPxshmEnq:
+      return "pxshm_enqueue";
+    case Ev::kPxshmDeq:
+      return "pxshm_dequeue";
+    case Ev::kCreditStall:
+      return "credit_stall";
+    case Ev::kMsgExec:
+      return "msg_exec";
+  }
+  return "unknown";
+}
+
+void EventRing::push(const Event& ev) {
+  if (buf_.size() < capacity_) {
+    buf_.push_back(ev);
+    return;
+  }
+  buf_[head_] = ev;
+  head_ = (head_ + 1) % buf_.size();
+  ++dropped_;
+}
+
+void EventTracer::record(int pe, Ev type, SimTime t, SimTime dur, int peer,
+                         std::uint32_t size) {
+  auto it = rings_.find(pe);
+  if (it == rings_.end()) {
+    it = rings_.emplace(pe, EventRing(ring_capacity_)).first;
+  }
+  Event ev;
+  ev.t = t;
+  ev.dur = dur;
+  ev.peer = peer;
+  ev.size = size;
+  ev.type = type;
+  it->second.push(ev);
+  ++total_events_;
+  ++type_counts_[static_cast<int>(type)];
+}
+
+std::uint64_t EventTracer::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& [pe, ring] : rings_) n += ring.dropped();
+  return n;
+}
+
+const EventRing* EventTracer::ring(int pe) const {
+  auto it = rings_.find(pe);
+  return it == rings_.end() ? nullptr : &it->second;
+}
+
+void EventTracer::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pe, ring] : rings_) {
+    // Thread-name metadata so Perfetto labels rows "pe 3" / "comm -1000".
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << pe
+        << ",\"args\":{\"name\":\"" << (pe < 0 ? "comm " : "pe ") << pe
+        << "\"}}";
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const Event& ev = ring.at(i);
+      // trace_event timestamps are microseconds (double); ours are ns.
+      out << ",{\"ph\":\"X\",\"name\":\"" << event_name(ev.type)
+          << "\",\"cat\":\"proto\",\"pid\":0,\"tid\":" << pe
+          << ",\"ts\":" << static_cast<double>(ev.t) / 1000.0
+          << ",\"dur\":" << static_cast<double>(ev.dur) / 1000.0
+          << ",\"args\":{\"peer\":" << ev.peer << ",\"size\":" << ev.size
+          << "}}";
+    }
+  }
+  out << "]}";
+}
+
+void EventTracer::write_csv(std::ostream& out) const {
+  out << "pe,t_ns,dur_ns,event,peer,size\n";
+  for (const auto& [pe, ring] : rings_) {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const Event& ev = ring.at(i);
+      out << pe << ',' << ev.t << ',' << ev.dur << ','
+          << event_name(ev.type) << ',' << ev.peer << ',' << ev.size << '\n';
+    }
+  }
+}
+
+void EventTracer::clear() {
+  rings_.clear();
+  total_events_ = 0;
+  for (auto& c : type_counts_) c = 0;
+}
+
+namespace detail {
+EventTracer* g_tracer = nullptr;
+}
+
+void set_tracer(EventTracer* t) { detail::g_tracer = t; }
+
+void emit(Ev type, SimTime t, SimTime dur, int peer, std::uint32_t size) {
+  EventTracer* tr = detail::g_tracer;
+  if (!tr) return;
+  sim::Context* ctx = sim::current();
+  if (!ctx) return;
+  tr->record(ctx->pe(), type, t, dur, peer, size);
+}
+
+}  // namespace ugnirt::trace

@@ -1,0 +1,75 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <vector>
+
+namespace ugnirt::trace {
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauges_[name];
+    // Keep the larger of the two high-water marks; the merged "current"
+    // value is the max as well (per-machine gauges are peak-style).
+    mine.set(std::max(mine.max(), g.max()));
+  }
+  for (const auto& [name, s] : other.stats_) {
+    stats_[name].merge(s);
+  }
+}
+
+void MetricsRegistry::dump_table(std::ostream& out) const {
+  out << "== metrics ==\n";
+  for (const auto& [name, c] : counters_) {
+    out << "  " << std::left << std::setw(36) << name << std::right
+        << std::setw(16) << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "  " << std::left << std::setw(36) << name << std::right
+        << std::setw(16) << g.value() << "  (max " << g.max() << ")\n";
+  }
+  for (const auto& [name, s] : stats_) {
+    out << "  " << std::left << std::setw(36) << name << std::right
+        << std::setw(16) << s.mean() << "  (n=" << s.count()
+        << " min=" << s.min() << " max=" << s.max() << ")\n";
+  }
+  out << std::left;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "metric,kind,count,sum,mean,min,max\n";
+  for (const auto& [name, c] : counters_) {
+    out << name << ",counter," << c.value() << ',' << c.value() << ','
+        << c.value() << ',' << c.value() << ',' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << ",gauge,1," << g.value() << ',' << g.value() << ','
+        << g.value() << ',' << g.max() << '\n';
+  }
+  for (const auto& [name, s] : stats_) {
+    out << name << ",stat," << s.count() << ',' << s.sum() << ',' << s.mean()
+        << ',' << s.min() << ',' << s.max() << '\n';
+  }
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  stats_.clear();
+}
+
+}  // namespace ugnirt::trace

@@ -1,0 +1,91 @@
+// Runtime-wide metrics registry (the "counters" half of Projections-full).
+//
+// Every machine layer, the mempool, the uGNI emulation and the Gemini
+// network model publish named metrics here instead of keeping private
+// ad-hoc stats structs.  Three metric flavors:
+//
+//   * Counter — monotonically increasing event count; cheap enough to stay
+//     always-on (one pointer-indirect increment on the hot path).
+//   * Gauge   — point-in-time value sampled at collection time (mailbox
+//     bytes, CQ depth, pool slab bytes); tracks its high-water mark.
+//   * Stat    — RunningStat-backed distribution (per-sample count / mean /
+//     min / max), for quantities like per-link occupancy.
+//
+// Naming convention is dotted lowercase, `<subsystem>.<what>`:
+// "ugni.smsg_sends", "mempool.freelist_hits", "net.link_conflicts",
+// "cq.max_depth".  The registry dumps a sorted text table and a CSV with
+// header `metric,kind,count,sum,mean,min,max` at end of run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace ugnirt::trace {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  void set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+  void reset() { value_ = max_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create.  Returned references stay valid for the registry's
+  /// lifetime (std::map nodes are address-stable), so hot paths cache the
+  /// pointer once and increment without a lookup.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  RunningStat& stat(const std::string& name) { return stats_[name]; }
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + stats_.size();
+  }
+  std::size_t counter_count() const { return counters_.size(); }
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+
+  /// Fold another registry into this one: counters add, gauges keep the
+  /// maximum observed value, stats merge their sample moments.  Used by the
+  /// trace session to aggregate per-Machine registries over a whole bench.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Human-readable sorted table ("== metrics ==" plus one row per metric).
+  void dump_table(std::ostream& out) const;
+
+  /// Machine-readable dump: `metric,kind,count,sum,mean,min,max`.
+  void write_csv(std::ostream& out) const;
+
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, RunningStat> stats_;
+};
+
+}  // namespace ugnirt::trace

@@ -1,0 +1,88 @@
+#include "trace/session.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "util/log.hpp"
+
+namespace ugnirt::trace {
+
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || n == 0) return fallback;
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+TraceSession::TraceSession(std::size_t ring_capacity, std::string output_base,
+                           bool base_from_env)
+    : events_(ring_capacity),
+      output_base_(std::move(output_base)),
+      base_from_env_(base_from_env) {
+  set_tracer(&events_);
+}
+
+TraceSession* TraceSession::active() {
+  // Function-local static: first caller pays the env parse; the session
+  // lives until static destruction, whose dtor flushes output files.
+  static std::unique_ptr<TraceSession> session = [] {
+    if (!env_truthy("UGNIRT_TRACE")) return std::unique_ptr<TraceSession>();
+    const char* base = std::getenv("UGNIRT_TRACE_FILE");
+    std::size_t ring = env_size("UGNIRT_TRACE_RING", 1u << 16);
+    bool base_from_env = base && *base;
+    return std::unique_ptr<TraceSession>(new TraceSession(
+        ring, base_from_env ? base : "ugnirt_trace", base_from_env));
+  }();
+  return session.get();
+}
+
+void TraceSession::flush() {
+  flushed_ = true;
+  bool ok = true;
+  {
+    std::ofstream json(output_base_ + ".trace.json");
+    events_.write_chrome_json(json);
+    ok = ok && json.good();
+  }
+  {
+    std::ofstream csv(output_base_ + ".events.csv");
+    events_.write_csv(csv);
+    ok = ok && csv.good();
+  }
+  {
+    std::ofstream csv(output_base_ + ".metrics.csv");
+    metrics_.write_csv(csv);
+    ok = ok && csv.good();
+  }
+  if (!ok) {
+    std::cerr << "[ugnirt trace] ERROR: could not write trace files at base '"
+              << output_base_ << "'\n";
+    metrics_.dump_table(std::cerr);
+    return;
+  }
+  std::cerr << "[ugnirt trace] wrote " << output_base_ << ".trace.json ("
+            << events_.total_events() << " events, "
+            << events_.total_dropped() << " dropped), " << output_base_
+            << ".metrics.csv (" << metrics_.size() << " metrics)\n";
+  metrics_.dump_table(std::cerr);
+}
+
+TraceSession::~TraceSession() {
+  if (!flushed_) flush();
+  set_tracer(nullptr);
+}
+
+}  // namespace ugnirt::trace

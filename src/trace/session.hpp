@@ -1,0 +1,69 @@
+// Process-wide trace session, driven by environment knobs:
+//
+//   UGNIRT_TRACE=1           enable tracing (unset / empty / "0" = off)
+//   UGNIRT_TRACE_FILE=base   output file base (default "ugnirt_trace")
+//   UGNIRT_TRACE_RING=N      per-PE event-ring capacity (default 65536)
+//
+// When active, the session installs a global EventTracer (see events.hpp)
+// and accumulates per-Machine MetricsRegistry snapshots that Machines
+// absorb into it at destruction.  At process exit — or on an explicit
+// flush() — it writes:
+//
+//   <base>.trace.json    Chrome trace_event JSON (Perfetto-loadable)
+//   <base>.events.csv    flat event rows
+//   <base>.metrics.csv   metric,kind,count,sum,mean,min,max
+//
+// plus a human-readable metrics table on stderr.  benchtool::Table points
+// the base at the bench name so each figure gets its own trace files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/events.hpp"
+#include "trace/metrics.hpp"
+
+namespace ugnirt::trace {
+
+class TraceSession {
+ public:
+  /// The singleton, or nullptr when UGNIRT_TRACE is off.  The first call
+  /// reads the environment; later calls are a plain pointer load.
+  static TraceSession* active();
+
+  EventTracer& events() { return events_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Fold a Machine's registry into the session-wide aggregate.
+  void absorb(const MetricsRegistry& m) { metrics_.merge_from(m); }
+
+  /// Redirect output files to `<base>.trace.json` etc.  An explicit
+  /// UGNIRT_TRACE_FILE in the environment wins over this, so a user's
+  /// chosen name is not overridden by the bench harness.  No effect on
+  /// anything already flushed.
+  void set_output_base(const std::string& base) {
+    if (!base_from_env_) output_base_ = base;
+  }
+  const std::string& output_base() const { return output_base_; }
+
+  /// Write all output files and the stderr table now.  Idempotent per
+  /// accumulated state; called automatically at process exit.
+  void flush();
+
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  TraceSession(std::size_t ring_capacity, std::string output_base,
+               bool base_from_env);
+
+  EventTracer events_;
+  MetricsRegistry metrics_;
+  std::string output_base_;
+  bool base_from_env_ = false;
+  bool flushed_ = false;
+};
+
+}  // namespace ugnirt::trace

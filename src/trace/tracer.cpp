@@ -1,13 +1,14 @@
 #include "trace/tracer.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <ostream>
 
 namespace ugnirt::trace {
 
 void Tracer::record(int /*pe*/, SimTime t0, SimTime t1, SpanKind kind) {
-  assert(!finalized_);
+  // Late spans (recorded after finalize, e.g. by a machine torn down after
+  // the bench summarized) are ignored rather than corrupting the bins.
+  if (finalized_) return;
   if (t1 <= t0) return;
   auto& series = kind == SpanKind::kApp ? app_ : overhead_;
   std::size_t first = static_cast<std::size_t>(t0 / bin_ns_);

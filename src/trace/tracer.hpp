@@ -28,7 +28,8 @@ class Tracer {
   void set_pe_count(int pes) { pes_ = pes; }
 
   /// Record that `pe` spent [t0, t1) doing `kind` work.  Spans may cross
-  /// bin boundaries; time is apportioned to each overlapped bin.
+  /// bin boundaries; time is apportioned to each overlapped bin.  Calls
+  /// after finalize() are ignored.
   void record(int pe, SimTime t0, SimTime t1, SpanKind kind);
 
   /// Close the trace at `end`: everything not recorded as app/overhead in

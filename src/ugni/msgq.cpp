@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "trace/events.hpp"
+
 namespace ugnirt::ugni {
 
 namespace {
@@ -82,6 +84,10 @@ gni_return_t GNI_MsgqSend(gni_nic_handle_t nic, std::int32_t remote_inst,
   q->rx_.push_back(std::move(msg));
   if (q->notify_) {
     dom->engine().schedule_at(arrive, [q, arrive] { q->notify_(arrive); });
+  }
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kMsgqSend, req.issue, arrive - req.issue,
+                remote_inst, total);
   }
   return GNI_RC_SUCCESS;
 }

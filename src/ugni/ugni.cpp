@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/events.hpp"
 #include "ugni/msgq.hpp"
 
 namespace ugnirt::ugni {
@@ -55,8 +56,10 @@ void Cq::push(SimTime at, gni_cq_entry_t entry) {
   if (entries_.size() >= capacity_) {
     // Real hardware sets an overrun bit and drops; runtimes must size CQs.
     overrun_ = true;
+    ++dropped_events_;
     return;
   }
+  if (entries_.size() + 1 > max_depth_) max_depth_ = entries_.size() + 1;
   // Insert keeping arrival order (usually appends; out-of-order arrivals
   // happen when a short transfer overtakes a long one).
   auto it = entries_.end();
@@ -90,6 +93,29 @@ std::uint64_t Domain::total_mailbox_bytes() const {
   std::uint64_t total = 0;
   for (const auto& nic : nics_) total += nic->mailbox_bytes();
   return total;
+}
+
+void Domain::collect_metrics(trace::MetricsRegistry& reg) const {
+  std::uint64_t registered = 0;
+  std::uint64_t regions = 0;
+  for (const auto& nic : nics_) {
+    registered += nic->registered_bytes();
+    regions += nic->active_regions();
+  }
+  reg.gauge("ugni.mailbox_bytes")
+      .set(static_cast<double>(total_mailbox_bytes()));
+  reg.gauge("ugni.registered_bytes").set(static_cast<double>(registered));
+  reg.gauge("ugni.active_regions").set(static_cast<double>(regions));
+  std::size_t max_depth = 0;
+  std::uint64_t dropped = 0;
+  for (const auto& cq : cqs_) {
+    max_depth = std::max(max_depth, cq->max_depth());
+    dropped += cq->dropped_events();
+  }
+  reg.gauge("cq.max_depth").set(static_cast<double>(max_depth));
+  reg.counter("cq.dropped_events").set(dropped);
+  reg.counter("cq.count").set(cqs_.size());
+  network_->collect_metrics(reg);
 }
 
 Ep* Nic::ep_for_peer(std::int32_t remote_inst) const {
@@ -183,7 +209,13 @@ gni_return_t GNI_MemRegister(gni_nic_handle_t nic, std::uint64_t address,
   }
   sim::Context& c = ctx();
   const auto& mc = nic->domain()->config();
+  const SimTime t0 = c.now();
   c.charge(mc.reg_cost(length));
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kMemReg, t0, c.now() - t0, /*peer=*/-1,
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    length, UINT32_MAX)));
+  }
   nic->regions_.push_back(Nic::Region{
       address, length, static_cast<std::uint32_t>(nic->regions_.size()) + 7u,
       true, dst_cq});
@@ -203,7 +235,13 @@ gni_return_t GNI_MemDeregister(gni_nic_handle_t nic, gni_mem_handle_t* hndl) {
   if (!r || !r->valid) return GNI_RC_INVALID_PARAM;
   sim::Context& c = ctx();
   const auto& mc = nic->domain()->config();
+  const SimTime t0 = c.now();
   c.charge(mc.dereg_cost(r->length));
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kMemDereg, t0, c.now() - t0, /*peer=*/-1,
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    r->length, UINT32_MAX)));
+  }
   r->valid = false;
   ++r->generation;  // future uses of the stale handle fail validation
   nic->registered_bytes_ -= r->length;
@@ -316,6 +354,10 @@ gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t ep, const void* header,
     entry.source_inst = nic->inst_id();
     remote->smsg_rx_cq_->push(arrival, entry);
   }
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kSmsgSend, req.issue, arrival - req.issue,
+                ep->remote_inst_, total);
+  }
   return GNI_RC_SUCCESS;
 }
 
@@ -330,6 +372,10 @@ gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t ep, void** data_out,
     msg.delivered = true;
     *data_out = msg.bytes.data();
     *tag_out = msg.tag;
+    if (trace::enabled()) {
+      trace::emit(trace::Ev::kSmsgRecv, c.now(), 0, ep->remote_inst_,
+                  static_cast<std::uint32_t>(msg.bytes.size()));
+    }
     return GNI_RC_SUCCESS;
   }
   return GNI_RC_NOT_DONE;
@@ -418,6 +464,13 @@ gni_return_t post_transaction(Ep* ep, gni_post_descriptor_t* desc,
   req.issue = c.now();
   gemini::TransferTimes t = dom->network().transfer(req);
   c.wait_until(t.cpu_done);
+  if (trace::enabled()) {
+    trace::emit(is_rdma ? trace::Ev::kBtePost : trace::Ev::kFmaPost,
+                req.issue, t.initiator_complete - req.issue,
+                ep->remote_inst(),
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    req.bytes, UINT32_MAX)));
+  }
 
   // Perform the actual data movement.  Buffers are stable while a
   // transaction is in flight (runtime protocol contract), so the copy can
@@ -499,6 +552,13 @@ gni_return_t GNI_GetCompleted(gni_cq_handle_t cq, const gni_cq_entry_t& event,
     if (it->first == event.data) {
       *desc_out = it->second;
       done.erase(it);
+      if (trace::enabled()) {
+        if (sim::Context* c = sim::current()) {
+          trace::emit(trace::Ev::kPostDone, c->now(), 0, /*peer=*/-1,
+                      static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                          (*desc_out)->length, UINT32_MAX)));
+        }
+      }
       return GNI_RC_SUCCESS;
     }
   }

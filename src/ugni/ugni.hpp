@@ -258,6 +258,11 @@ class Cq {
   bool overrun() const { return overrun_; }
   Nic* nic() const { return nic_; }
 
+  /// High-water mark of queued events (CQ sizing / introspection).
+  std::size_t max_depth() const { return max_depth_; }
+  /// Events dropped because the queue was full at push time.
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
   /// Virtual arrival time of the earliest queued event, or kNever when the
   /// queue is empty (driver support; carries no CPU charge).
   SimTime next_arrival() const {
@@ -280,6 +285,8 @@ class Cq {
   Nic* nic_;
   std::uint32_t capacity_;
   bool overrun_ = false;
+  std::size_t max_depth_ = 0;
+  std::uint64_t dropped_events_ = 0;
   std::deque<Timed> entries_;  // kept sorted by arrival time
   std::function<void(SimTime)> notify_;
 };
@@ -407,6 +414,11 @@ class Domain {
 
   /// Aggregate SMSG mailbox memory across the job (scalability metric).
   std::uint64_t total_mailbox_bytes() const;
+
+  /// Publish domain-wide gauges: ugni.mailbox_bytes, ugni.registered_bytes,
+  /// ugni.active_regions, cq.max_depth, cq.dropped_events, plus the
+  /// network's own metrics (see Network::collect_metrics).
+  void collect_metrics(trace::MetricsRegistry& reg) const;
 
  private:
   UGNIRT_UGNI_API_FRIENDS

@@ -11,6 +11,7 @@ namespace {
 LogLevel initial_threshold() {
   const char* env = std::getenv("UGNIRT_LOG");
   if (!env) return LogLevel::kWarn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
@@ -26,6 +27,8 @@ LogLevel& threshold_ref() {
 
 const char* level_name(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
     case LogLevel::kDebug:
       return "DEBUG";
     case LogLevel::kInfo:
@@ -40,14 +43,36 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+LogContextProvider g_context_provider = nullptr;
+LogSink g_sink = nullptr;
+
 }  // namespace
 
 LogLevel log_threshold() { return threshold_ref(); }
 
 void set_log_threshold(LogLevel level) { threshold_ref() = level; }
 
+void set_log_context_provider(LogContextProvider provider) {
+  g_context_provider = provider;
+}
+
+void set_log_sink(LogSink sink) { g_sink = sink; }
+
 void log_message(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[ugnirt %s] %s\n", level_name(level), msg.c_str());
+  char prefix[64];
+  long long t_ns = 0;
+  int pe = 0;
+  if (g_context_provider && g_context_provider(&t_ns, &pe)) {
+    std::snprintf(prefix, sizeof(prefix), "[ugnirt %s t=%lldns pe=%d]",
+                  level_name(level), t_ns, pe);
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[ugnirt %s]", level_name(level));
+  }
+  if (g_sink) {
+    g_sink(level, std::string(prefix) + " " + msg);
+    return;
+  }
+  std::fprintf(stderr, "%s %s\n", prefix, msg.c_str());
 }
 
 }  // namespace ugnirt

@@ -1,4 +1,8 @@
-// Minimal leveled logger.  Off by default; enable with UGNIRT_LOG=debug.
+// Minimal leveled logger.  Off by default; enable with UGNIRT_LOG=debug
+// (or trace/info/warn/error/off).  When a simulated PE context is active,
+// messages are prefixed with the virtual time and PE id, e.g.
+// `[ugnirt DEBUG t=123456ns pe=3] ...` — the context comes from a provider
+// hook installed by the sim layer so util stays dependency-free.
 #pragma once
 
 #include <sstream>
@@ -6,7 +10,14 @@
 
 namespace ugnirt {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
 
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
@@ -15,6 +26,16 @@ void log_message(LogLevel level, const std::string& msg);
 inline bool log_enabled(LogLevel level) {
   return static_cast<int>(level) >= static_cast<int>(log_threshold());
 }
+
+/// Hook filling in (virtual time ns, pe id); returns false when no
+/// simulation context is active.  Installed once by the sim layer.
+using LogContextProvider = bool (*)(long long* t_ns, int* pe);
+void set_log_context_provider(LogContextProvider provider);
+
+/// Hook receiving every formatted line instead of stderr; pass nullptr to
+/// restore stderr.  For tests.
+using LogSink = void (*)(LogLevel level, const std::string& line);
+void set_log_sink(LogSink sink);
 
 }  // namespace ugnirt
 
@@ -27,6 +48,7 @@ inline bool log_enabled(LogLevel level) {
     }                                                          \
   } while (0)
 
+#define UGNIRT_TRACELOG(expr) UGNIRT_LOG(::ugnirt::LogLevel::kTrace, expr)
 #define UGNIRT_DEBUG(expr) UGNIRT_LOG(::ugnirt::LogLevel::kDebug, expr)
 #define UGNIRT_INFO(expr) UGNIRT_LOG(::ugnirt::LogLevel::kInfo, expr)
 #define UGNIRT_WARN(expr) UGNIRT_LOG(::ugnirt::LogLevel::kWarn, expr)

@@ -22,6 +22,25 @@ class RunningStat {
     sum_ += x;
   }
 
+  /// Fold another stream into this one (parallel Welford / Chan et al.),
+  /// preserving exact count/mean/variance as if all samples were added here.
+  void merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const std::uint64_t n = n_ + o.n_;
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    n_ = n;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double sum() const { return sum_; }

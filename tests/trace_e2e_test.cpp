@@ -1,0 +1,163 @@
+// End-to-end test of the UGNIRT_TRACE session: run real machine traffic
+// with tracing enabled, flush, and validate the emitted artifacts.
+//
+// This binary has its own main() so it can set UGNIRT_TRACE in the
+// environment before the lazily-initialized TraceSession first reads it.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "converse/machine.hpp"
+#include "lrts/runtime.hpp"
+#include "trace/events.hpp"
+#include "trace/session.hpp"
+
+namespace ugnirt::converse {
+namespace {
+
+constexpr const char* kOutputBase = "trace_e2e_out";
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Drive ping-pong traffic across both protocol regimes (SMSG and
+/// GET-based rendezvous) on the uGNI layer, then destroy the machine so
+/// its metrics are absorbed into the trace session.
+void run_traffic() {
+  MachineOptions o;
+  o.pes = 4;
+  o.pes_per_node = 2;  // two nodes; PE 0 <-> PE 3 is inter-node traffic
+  o.layer = LayerKind::kUgni;
+  auto m = lrts::make_machine(o);
+  int bounces = 0;
+  int h = m->register_handler([&](void* msg) {
+    ++bounces;
+    std::uint32_t total = header_of(msg)->size;
+    int me = CmiMyPe();
+    if (bounces < 8) {
+      void* reply = CmiAlloc(total);
+      CmiSetHandler(reply, h);
+      CmiSyncSendAndFree(3 - me, total, reply);
+    }
+    CmiFree(msg);
+  });
+  for (std::uint32_t payload : {64u, 262144u}) {
+    bounces = 0;
+    const std::uint32_t total = payload + kCmiHeaderBytes;
+    m->start(0, [&, total] {
+      void* msg = CmiAlloc(total);
+      CmiSetHandler(msg, h);
+      CmiSyncSendAndFree(3, total, msg);
+    });
+    m->run();
+    EXPECT_EQ(bounces, 8);
+  }
+}
+
+TEST(TraceE2E, SessionIsActiveAndRecords) {
+  trace::TraceSession* session = trace::TraceSession::active();
+  ASSERT_NE(session, nullptr) << "UGNIRT_TRACE=1 not honored";
+  ASSERT_TRUE(trace::enabled());
+  session->set_output_base(kOutputBase);
+
+  run_traffic();
+
+  // Protocol events from both regimes landed in the tracer.
+  trace::EventTracer& ev = session->events();
+  EXPECT_GT(ev.count_of(trace::Ev::kSmsgSend), 0u);
+  EXPECT_GT(ev.count_of(trace::Ev::kRdvInit), 0u);
+  EXPECT_GT(ev.count_of(trace::Ev::kRdvGet), 0u);
+  EXPECT_GT(ev.count_of(trace::Ev::kRdvAck), 0u);
+  EXPECT_GT(ev.count_of(trace::Ev::kMsgExec), 0u);
+  EXPECT_GT(ev.count_of(trace::Ev::kMemReg), 0u);
+}
+
+// Self-sufficient (gtest_discover_tests may run it in its own process):
+// generates traffic, flushes, then validates every artifact.
+TEST(TraceE2E, FlushedArtifactsAreValid) {
+  trace::TraceSession* session = trace::TraceSession::active();
+  ASSERT_NE(session, nullptr);
+  session->set_output_base(kOutputBase);
+  run_traffic();
+  session->flush();
+
+  // ---- Chrome trace JSON: structural sanity (Perfetto-loadable shape).
+  std::string json = slurp(std::string(kOutputBase) + ".trace.json");
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 40);
+  std::int64_t braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"smsg_send\""), std::string::npos);
+
+  // ---- Events CSV.
+  std::string events = slurp(std::string(kOutputBase) + ".events.csv");
+  EXPECT_EQ(events.rfind("pe,t_ns,dur_ns,event,peer,size", 0), 0u);
+
+  // ---- Metrics CSV: header plus a broad counter set spanning the uGNI
+  // layer, the mempool, the Gemini network model and the CQs.
+  std::string metrics = slurp(std::string(kOutputBase) + ".metrics.csv");
+  std::istringstream in(metrics);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "metric,kind,count,sum,mean,min,max");
+  std::set<std::string> counters;
+  std::set<std::string> categories;
+  while (std::getline(in, line)) {
+    std::size_t c1 = line.find(',');
+    ASSERT_NE(c1, std::string::npos) << line;
+    std::string name = line.substr(0, c1);
+    std::size_t c2 = line.find(',', c1 + 1);
+    if (line.substr(c1 + 1, c2 - c1 - 1) == "counter") {
+      counters.insert(name);
+    }
+    categories.insert(name.substr(0, name.find('.')));
+  }
+  EXPECT_GE(counters.size(), 12u) << metrics;
+  for (const char* want : {"ugni", "mempool", "net", "cq", "converse"}) {
+    EXPECT_TRUE(categories.count(want)) << "no " << want << ".* metrics";
+  }
+  EXPECT_TRUE(counters.count("ugni.smsg_sends"));
+  EXPECT_TRUE(counters.count("ugni.rendezvous_gets"));
+  EXPECT_TRUE(counters.count("mempool.freelist_hits"));
+  EXPECT_TRUE(counters.count("net.transfers"));
+}
+
+}  // namespace
+}  // namespace ugnirt::converse
+
+int main(int argc, char** argv) {
+  // Must happen before the first TraceSession::active() call anywhere.
+  setenv("UGNIRT_TRACE", "1", 1);
+  setenv("UGNIRT_TRACE_FILE", ugnirt::converse::kOutputBase, 1);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
