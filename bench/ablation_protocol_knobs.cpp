@@ -30,7 +30,6 @@ int main() {
   xo.add_column("lat_16K_us");
   for (std::uint32_t thr : {1024u, 2048u, 4096u, 8192u, 16384u, 65536u}) {
     converse::MachineOptions o;
-    o.layer = converse::LayerKind::kUgni;
     o.pes_per_node = 1;
     o.mc.rdma_threshold = thr;
     xo.add_row(std::to_string(thr), {to_us(pingpong_with(o, 4096)),
@@ -70,10 +69,9 @@ int main() {
   for (std::uint32_t credits : {2u, 4u, 8u, 16u, 32u}) {
     converse::MachineOptions o;
     o.pes = 2;
-    o.layer = converse::LayerKind::kUgni;
     o.pes_per_node = 1;
     o.mc.smsg_mailbox_credits = credits;
-    auto m = lrts::make_machine(o);
+    auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
     int got = 0;
     SimTime done = 0;
     int h = m->register_handler([&](void* msg) {

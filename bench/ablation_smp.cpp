@@ -51,7 +51,7 @@ int main() {
     auto measure = [&](bool smp) {
       auto o = base_opts(smp, pes, 24);
       o.use_pxshm = false;
-      auto m = lrts::make_machine(o);
+      auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
       int h = m->register_handler(
           [&](void* msg) { converse::CmiFree(msg); });
       for (int pe = 0; pe < pes; ++pe) {

@@ -19,7 +19,7 @@ double measured_mailbox_kb(int pes, int peers) {
   o.pes = pes;
   o.use_pxshm = false;  // force every pair onto SMSG channels
   o.pes_per_node = 1;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
   int h = m->register_handler([&](void* msg) { converse::CmiFree(msg); });
   m->start(0, [&, h] {
     for (int p = 1; p <= peers; ++p) {

@@ -266,7 +266,7 @@ int main(int argc, char** argv) {
   const int nblocks = grid.bdim * grid.bdim * grid.bdim;
   if (options.pes > nblocks) options.pes = nblocks;
 
-  auto machine = lrts::make_machine(options);
+  auto machine = lrts::make_machine(options.layer, options);
   charm::Charm charm(*machine);
   charm::ArrayManager blocks(charm, nblocks, [&](int idx) {
     return std::make_unique<Block>(grid, idx);

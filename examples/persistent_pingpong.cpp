@@ -24,7 +24,7 @@ SimTime run(bool persistent, std::uint32_t payload, int count) {
   // each plain rendezvous then pays malloc+registration on both sides.
   options.use_mempool = false;
 
-  auto machine = lrts::make_machine(options);
+  auto machine = lrts::make_machine(LayerKind::kUgni, options);
   const std::uint32_t total = payload + kCmiHeaderBytes;
   const std::uint32_t ack_total = kCmiHeaderBytes + 8;
   int received = 0;

@@ -19,10 +19,9 @@ namespace {
 SimTime pingpong_once(LayerKind layer, std::uint32_t payload) {
   MachineOptions options;
   options.pes = 2;
-  options.layer = layer;
   options.pes_per_node = 1;  // put the two PEs on different torus nodes
 
-  auto machine = lrts::make_machine(options);
+  auto machine = lrts::make_machine(layer, options);
 
   const std::uint32_t total = payload + kCmiHeaderBytes;
   int legs = 0;

@@ -215,7 +215,7 @@ SimTime charm_pingpong(converse::MachineOptions options,
                        const PingPongOptions& pp) {
   options.pes = 2;
   if (options.pes_per_node == 0) options.pes_per_node = 1;
-  auto m = lrts::make_machine(options);
+  auto m = lrts::make_machine(options.layer, options);
   const std::uint32_t total = pp.payload + kCmiHeaderBytes;
   const int total_legs = 2 /*warmup*/ + 2 * pp.iters;
 
@@ -312,7 +312,7 @@ double charm_bandwidth(converse::MachineOptions options, std::uint32_t bytes,
 SimTime charm_onetoall(converse::MachineOptions options, std::uint32_t bytes,
                        int iters) {
   // 16 nodes, one designated core per node (paper: 16 nodes of Hopper).
-  auto m = lrts::make_machine(options);
+  auto m = lrts::make_machine(options.layer, options);
   const int ppn = options.effective_pes_per_node();
   const int nodes = options.nodes();
   const int peers = nodes - 1;
@@ -365,7 +365,7 @@ SimTime charm_onetoall(converse::MachineOptions options, std::uint32_t bytes,
 
 SimTime charm_kneighbor(converse::MachineOptions options, std::uint32_t bytes,
                         int k, int iters) {
-  auto m = lrts::make_machine(options);
+  auto m = lrts::make_machine(options.layer, options);
   charm::Charm charm(*m);
   const int pes = options.pes;
   // Payload carries the round tag; a PE may legitimately receive traffic

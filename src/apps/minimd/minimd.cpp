@@ -364,7 +364,7 @@ void Shared::patch_done_step(int pe, int step, double energy) {
 
 MdResult run_minimd(const converse::MachineOptions& options,
                     const MdConfig& config) {
-  auto machine = lrts::make_machine(options);
+  auto machine = lrts::make_machine(options.layer, options);
   charm::Charm charm(*machine);
 
   Shared shared;

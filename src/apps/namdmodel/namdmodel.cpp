@@ -359,7 +359,7 @@ void Model::controller_step_done(int count) {
 NamdResult run_namd_model(const converse::MachineOptions& options,
                           const NamdConfig& config,
                           trace::Tracer* tracer) {
-  auto machine = lrts::make_machine(options);
+  auto machine = lrts::make_machine(options.layer, options);
   if (tracer) {
     tracer->set_pe_count(options.pes);
     machine->set_tracer(tracer);

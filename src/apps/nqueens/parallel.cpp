@@ -30,7 +30,7 @@ static_assert(sizeof(TaskPayload) == 56);
 NQueensResult run_nqueens(const converse::MachineOptions& options,
                           const NQueensConfig& config,
                           trace::Tracer* tracer) {
-  auto machine = lrts::make_machine(options);
+  auto machine = lrts::make_machine(options.layer, options);
   if (tracer) {
     tracer->set_pe_count(options.pes);
     machine->set_tracer(tracer);

@@ -133,6 +133,10 @@ Machine::Machine(MachineOptions options, std::unique_ptr<MachineLayer> layer)
   assert(options_.pes >= 1);
   network_ = std::make_unique<gemini::Network>(
       engine_, topo::Torus3D::for_nodes(options_.nodes()), options_.mc);
+  if (options_.fault.enabled) {
+    fault_ = std::make_unique<fault::FaultInjector>(options_.fault);
+    network_->set_fault_injector(fault_.get());
+  }
   qd_created_.assign(static_cast<std::size_t>(options_.pes), 0);
   qd_processed_.assign(static_cast<std::size_t>(options_.pes), 0);
   pes_.reserve(static_cast<std::size_t>(options_.pes));

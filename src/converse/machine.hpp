@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "gemini/machine_config.hpp"
 #include "gemini/network.hpp"
 #include "sim/context.hpp"
@@ -77,6 +78,13 @@ struct MachineOptions {
   /// PEs per node; 0 means "use mc.cores_per_node".  Micro-benchmarks that
   /// place each rank on its own node set this to 1.
   int pes_per_node = 0;
+
+  /// Shared retry/backoff policy for all LRTS layers ("retry.*" config
+  /// keys / UGNIRT_RETRY_* env).
+  fault::RetryPolicy retry{};
+  /// Deterministic fault-injection plan ("fault.*" config keys /
+  /// UGNIRT_FAULT_* env).  Installed on the network when `enabled`.
+  fault::FaultPlan fault{};
 
   int effective_pes_per_node() const {
     return pes_per_node > 0 ? pes_per_node : mc.cores_per_node;
@@ -210,6 +218,8 @@ class Machine {
   Pe& pe(int i) { return *pes_[static_cast<std::size_t>(i)]; }
   const MachineOptions& options() const { return options_; }
   gemini::Network& network() { return *network_; }
+  /// The installed fault injector, or nullptr when faults are disabled.
+  fault::FaultInjector* fault_injector() { return fault_.get(); }
   sim::Engine& engine() { return engine_; }
   MachineLayer& layer() { return *layer_; }
   trace::Tracer* tracer() { return tracer_; }
@@ -281,6 +291,7 @@ class Machine {
   MachineOptions options_;
   sim::Engine engine_;
   std::unique_ptr<gemini::Network> network_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   std::unique_ptr<MachineLayer> layer_;
   std::vector<std::unique_ptr<Pe>> pes_;
   std::vector<CmiHandler> handlers_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <ostream>
 
+#include "fault/fault.hpp"
+
 namespace ugnirt::gemini {
 
 const char* mechanism_name(Mechanism m) {
@@ -102,20 +104,35 @@ TransferTimes Network::transfer(const TransferRequest& req) {
 
   const SimTime prop = propagation(req.initiator_node, req.remote_node);
 
+  // Link faults: a blackout delays the route reservation, degradation
+  // stretches serialization (both the link occupancy and the payload
+  // stream, which is bottlenecked by the slowest hop).
+  SimTime fault_delay = 0;
+  double slowdown = 1.0;
+  if (fault_ && req.initiator_node != req.remote_node) {
+    fault::LinkFault lf =
+        fault_->link_fault(req.initiator_node, req.remote_node, req.issue);
+    fault_delay = lf.delay;
+    slowdown = lf.slowdown;
+  }
+  auto scaled = [slowdown](SimTime d) {
+    return static_cast<SimTime>(static_cast<double>(d) * slowdown);
+  };
+
   switch (req.mech) {
     case Mechanism::kSmsg: {
       stats_.bytes_smsg += req.bytes;
       // Sender CPU writes header+payload through the FMA window.
       t.cpu_done = req.issue + c.smsg_cpu_send_ns;
       SimTime payload =
-          static_cast<SimTime>(static_cast<double>(req.bytes) *
-                               c.smsg_per_byte_ns);
+          scaled(static_cast<SimTime>(static_cast<double>(req.bytes) *
+                                      c.smsg_per_byte_ns));
       SimTime wire = c.smsg_wire_startup_ns + payload;
       // Links are occupied only for the packet's wire serialization at the
       // link rate; the NIC pipeline startup is not a link resource.
       SimTime start = reserve_route(req.initiator_node, req.remote_node,
-                                    transfer_time(req.bytes, c.link_bw),
-                                    t.cpu_done);
+                                    scaled(transfer_time(req.bytes, c.link_bw)),
+                                    t.cpu_done + fault_delay);
       t.data_arrival = start + wire + prop;
       // Delivery ack (SSID completion) returns to the sender's TX CQ.
       t.initiator_complete = t.data_arrival + prop;
@@ -126,12 +143,13 @@ TransferTimes Network::transfer(const TransferRequest& req) {
       stats_.bytes_fma += req.bytes;
       const bool is_get = req.mech == Mechanism::kFmaGet;
       SimTime startup = is_get ? c.fma_get_startup_ns : c.fma_put_startup_ns;
-      SimTime stream = transfer_time(req.bytes, c.fma_bw);
+      SimTime stream = scaled(transfer_time(req.bytes, c.fma_bw));
       // The CPU owns the FMA window for the entire payload push/pull.
       t.cpu_done = req.issue + c.fma_desc_ns + startup + stream;
-      SimTime start = reserve_route(req.initiator_node, req.remote_node,
-                                    transfer_time(req.bytes, c.link_bw),
-                                    req.issue + c.fma_desc_ns + startup);
+      SimTime start =
+          reserve_route(req.initiator_node, req.remote_node,
+                        scaled(transfer_time(req.bytes, c.link_bw)),
+                        req.issue + c.fma_desc_ns + startup + fault_delay);
       if (is_get) {
         // Request travels out, responses stream back to the initiator.
         t.data_arrival = start + stream + 2 * prop;
@@ -152,13 +170,13 @@ TransferTimes Network::transfer(const TransferRequest& req) {
       t.cpu_done = req.issue + c.bte_desc_ns;
       std::size_t nic = static_cast<std::size_t>(req.initiator_node);
       SimTime engine_ready = std::max(t.cpu_done, bte_free_[nic]);
-      SimTime stream = transfer_time(req.bytes, c.bte_bw);
+      SimTime stream = scaled(transfer_time(req.bytes, c.bte_bw));
       // The DMA engine streams queued descriptors back to back; the
       // startup pipeline adds latency per transfer but does not idle the
       // engine between them.
       SimTime start = reserve_route(req.initiator_node, req.remote_node,
-                                    transfer_time(req.bytes, c.link_bw),
-                                    engine_ready);
+                                    scaled(transfer_time(req.bytes, c.link_bw)),
+                                    engine_ready + fault_delay);
       bte_free_[nic] = start + stream;
       if (is_get) {
         t.data_arrival = start + startup + stream + 2 * prop;
@@ -191,6 +209,7 @@ void Network::collect_metrics(trace::MetricsRegistry& reg) const {
   }
   reg.counter("net.link_waits").set(waits);
   reg.counter("net.link_wait_ns").set(static_cast<std::uint64_t>(wait_ns));
+  if (fault_) fault_->collect_metrics(reg);
 }
 
 void Network::write_link_csv(std::ostream& out) const {

@@ -27,6 +27,10 @@
 #include "trace/metrics.hpp"
 #include "util/units.hpp"
 
+namespace ugnirt::fault {
+class FaultInjector;
+}
+
 namespace ugnirt::gemini {
 
 enum class Mechanism : std::uint8_t {
@@ -81,6 +85,13 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
 
   int hops(int a, int b) const { return torus_.hops(a, b); }
+
+  /// Install (or with nullptr, remove) a fault injector.  Not owned.  When
+  /// set, transfer() consults it for per-route degradation/blackout windows
+  /// and the uGNI emulation reaches it through its Domain's network for
+  /// post/registration/CQ/SMSG faults.
+  void set_fault_injector(fault::FaultInjector* f) { fault_ = f; }
+  fault::FaultInjector* fault_injector() const { return fault_; }
 
   /// Publish network-wide counters (net.transfers, net.bytes_*,
   /// net.link_conflicts, net.link_waits) plus per-link occupancy as a
@@ -137,6 +148,7 @@ class Network {
   std::vector<LinkSchedule> links_;  // per directional link
   std::vector<SimTime> bte_free_;    // per node's BTE engine
   NetworkStats stats_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace ugnirt::gemini

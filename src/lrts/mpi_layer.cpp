@@ -34,6 +34,7 @@ void MpiLayer::ensure_comm(converse::Machine& m) {
   machine_ = &m;
   comm_ = std::make_unique<mpilite::MpiComm>(
       m.network(), m.num_pes(), [&m](int rank) { return m.node_of_pe(rank); });
+  comm_->set_retry_policy(m.options().retry);
 }
 
 void MpiLayer::init_pe(converse::Pe& pe) {
@@ -121,6 +122,10 @@ void MpiLayer::collect_metrics(trace::MetricsRegistry& reg) {
   reg.counter("mpi.sends_e1").set(s.sends_e1);
   reg.counter("mpi.sends_rndv").set(s.sends_rndv);
   reg.counter("mpi.unexpected").set(s.unexpected);
+  reg.counter("retry_smsg").set(s.smsg_retries);
+  reg.counter("retry_mem_register").set(s.reg_retries);
+  reg.counter("retry_escalations").set(s.escalations);
+  reg.counter("cq_overrun_recovered").set(s.cq_overruns_recovered);
   const mpilite::UdregStats& u = comm_->udreg_stats();
   reg.counter("mpi.udreg_hits").set(u.hits);
   reg.counter("mpi.udreg_misses").set(u.misses);

@@ -1,0 +1,79 @@
+#include "lrts/retry_util.hpp"
+
+#include "trace/events.hpp"
+#include "util/log.hpp"
+
+namespace ugnirt::lrts::detail {
+
+namespace {
+
+/// Attempts after which a permanently-failing call aborts (a fault plan
+/// with p = 1.0 on a required resource cannot make progress).
+constexpr int kHardCap = 1000;
+
+/// Shared backoff loop: `attempt` is how many failures have occurred.
+/// Charges the backoff to the caller's context and does the escalation
+/// bookkeeping; returns false once the hard cap is reached.
+bool back_off(sim::Context& ctx, const fault::RetryPolicy& policy,
+              int attempt, const char* what, const RetryCounters& n) {
+  if (attempt > kHardCap) return false;
+  if (n.retries) n.retries->inc();
+  if (attempt == policy.max_retries + 1) {
+    if (n.escalations) n.escalations->inc();
+    UGNIRT_WARN(what << " still failing after " << policy.max_retries
+                     << " retries; continuing at capped backoff");
+  }
+  const SimTime pause = policy.backoff_for(attempt);
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kRetryBackoff, ctx.now(), pause, /*peer=*/-1,
+                static_cast<std::uint32_t>(attempt));
+  }
+  ctx.charge(pause);
+  return true;
+}
+
+}  // namespace
+
+ugni::gni_return_t register_with_retry(
+    sim::Context& ctx, const fault::RetryPolicy& policy,
+    ugni::gni_nic_handle_t nic, std::uint64_t addr, std::uint64_t len,
+    ugni::gni_cq_handle_t dst_cq, ugni::gni_mem_handle_t* hndl_out,
+    const RetryCounters& n) {
+  int failures = 0;
+  for (;;) {
+    ugni::gni_return_t rc = ugni::check(
+        ugni::GNI_MemRegister(nic, addr, len, dst_cq, 0, hndl_out),
+        "GNI_MemRegister", ugni::GNI_RC_ERROR_RESOURCE);
+    if (rc == ugni::GNI_RC_SUCCESS) return rc;
+    if (!back_off(ctx, policy, ++failures, "GNI_MemRegister", n)) {
+      ugni::detail::check_fail(rc, "GNI_MemRegister (retries exhausted)");
+    }
+  }
+}
+
+ugni::gni_return_t post_with_retry(sim::Context& ctx,
+                                   const fault::RetryPolicy& policy,
+                                   ugni::gni_ep_handle_t ep,
+                                   ugni::gni_post_descriptor_t* desc,
+                                   bool is_rdma, const RetryCounters& n) {
+  int failures = 0;
+  for (;;) {
+    ugni::gni_return_t rc = ugni::check(
+        is_rdma ? ugni::GNI_PostRdma(ep, desc) : ugni::GNI_PostFma(ep, desc),
+        "GNI_Post", ugni::GNI_RC_TRANSACTION_ERROR);
+    if (rc == ugni::GNI_RC_SUCCESS) return rc;
+    if (!back_off(ctx, policy, ++failures, "GNI_Post", n)) {
+      ugni::detail::check_fail(rc, "GNI_Post (retries exhausted)");
+    }
+  }
+}
+
+std::uint32_t recover_cq(ugni::gni_cq_handle_t cq, trace::Counter* recovered) {
+  std::uint32_t resynthesized = 0;
+  ugni::check(ugni::GNI_CqErrorRecover(cq, &resynthesized),
+              "GNI_CqErrorRecover");
+  if (recovered) recovered->inc();
+  return resynthesized;
+}
+
+}  // namespace ugnirt::lrts::detail

@@ -1,0 +1,47 @@
+// Retry/backoff helpers shared by the LRTS machine layers.
+//
+// All three layers recover from the same transient uGNI failures the same
+// way: retry with exponential backoff in virtual time, escalate (log +
+// count) once the polite phase of the RetryPolicy is exhausted, then keep
+// retrying at the capped interval — the injected fault processes are
+// transient by construction, so persistence preserves the zero-loss
+// guarantee the fault-matrix tests assert.  A hard cap of ~1000 attempts
+// turns a permanently-failing call (p = 1.0 misconfiguration) into a loud
+// abort instead of an unbounded virtual-time spin.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/retry.hpp"
+#include "trace/metrics.hpp"
+#include "ugni/ugni.hpp"
+
+namespace ugnirt::lrts::detail {
+
+/// Counters a retry loop reports into (any may be nullptr).
+struct RetryCounters {
+  trace::Counter* retries = nullptr;
+  trace::Counter* escalations = nullptr;
+};
+
+/// GNI_MemRegister with backoff on GNI_RC_ERROR_RESOURCE.  Returns
+/// GNI_RC_SUCCESS (eventually) or aborts via ugni::check on a contract
+/// violation / permanent failure.
+ugni::gni_return_t register_with_retry(
+    sim::Context& ctx, const fault::RetryPolicy& policy,
+    ugni::gni_nic_handle_t nic, std::uint64_t addr, std::uint64_t len,
+    ugni::gni_cq_handle_t dst_cq, ugni::gni_mem_handle_t* hndl_out,
+    const RetryCounters& n);
+
+/// GNI_PostFma / GNI_PostRdma with backoff on GNI_RC_TRANSACTION_ERROR.
+ugni::gni_return_t post_with_retry(sim::Context& ctx,
+                                   const fault::RetryPolicy& policy,
+                                   ugni::gni_ep_handle_t ep,
+                                   ugni::gni_post_descriptor_t* desc,
+                                   bool is_rdma, const RetryCounters& n);
+
+/// Handle a GNI_RC_ERROR_RESOURCE from a CQ poll: run GNI_CqErrorRecover
+/// and count the recovery.  Returns the number of re-synthesized events.
+std::uint32_t recover_cq(ugni::gni_cq_handle_t cq, trace::Counter* recovered);
+
+}  // namespace ugnirt::lrts::detail

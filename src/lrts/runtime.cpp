@@ -7,18 +7,24 @@
 namespace ugnirt::lrts {
 
 std::unique_ptr<converse::Machine> make_machine(
-    const converse::MachineOptions& options_in) {
+    converse::LayerKind kind, const converse::MachineOptions& options_in) {
   converse::MachineOptions options = options_in;
-  // Honor UGNIRT_GEMINI_* environment overrides for every model constant,
-  // so experiments and ablations can retune the machine without rebuilds.
+  options.layer = kind;
+  // Honor UGNIRT_GEMINI_* / UGNIRT_FAULT_* / UGNIRT_RETRY_* environment
+  // overrides for every model constant, fault knob and retry knob, so
+  // experiments and ablations can retune the machine without rebuilds.
   {
     Config cfg;
     options.mc.export_to(cfg);
+    options.fault.export_to(cfg);
+    options.retry.export_to(cfg);
     cfg.apply_env_overrides();
     options.mc = gemini::MachineConfig::from(cfg);
+    options.fault = fault::FaultPlan::from(cfg);
+    options.retry = fault::RetryPolicy::from(cfg);
   }
   std::unique_ptr<converse::MachineLayer> layer;
-  switch (options.layer) {
+  switch (kind) {
     case converse::LayerKind::kUgni:
       if (options.smp_mode) {
         layer = std::make_unique<SmpLayer>();

@@ -1,8 +1,16 @@
-// Convenience constructors: a Machine wired to the requested LRTS layer.
+// The one factory that links an application against an LRTS layer.
 //
 // "All the following benchmark programs and applications are written in
 // CHARM++, but linked with either MPI- or uGNI-based message-driven runtime
 // for comparison" (paper §V) — this factory is that link step.
+//
+// `make_machine(kind, options)` is the canonical entry point: the layer is
+// an explicit argument (it *is* the link decision, not another tunable
+// buried in the options bag), and every config sub-struct riding in
+// MachineOptions — the gemini::MachineConfig cost model, the
+// fault::FaultPlan and the fault::RetryPolicy — is re-resolved through a
+// Config round trip so UGNIRT_GEMINI_* / UGNIRT_FAULT_* / UGNIRT_RETRY_*
+// environment overrides apply without a rebuild.
 #pragma once
 
 #include <memory>
@@ -11,8 +19,18 @@
 
 namespace ugnirt::lrts {
 
-/// Build a machine running the layer named in `options.layer`.
+/// Build a machine running layer `kind` (overrides `options.layer`), with
+/// UGNIRT_GEMINI_* / UGNIRT_FAULT_* / UGNIRT_RETRY_* environment overrides
+/// applied on top of the passed-in options.
 std::unique_ptr<converse::Machine> make_machine(
-    const converse::MachineOptions& options);
+    converse::LayerKind kind, const converse::MachineOptions& options = {});
+
+/// Deprecated shim: the layer hides inside the options bag.  Call
+/// make_machine(kind, options) instead.
+[[deprecated("use make_machine(LayerKind, const MachineOptions&)")]]
+inline std::unique_ptr<converse::Machine> make_machine(
+    const converse::MachineOptions& options) {
+  return make_machine(options.layer, options);
+}
 
 }  // namespace ugnirt::lrts

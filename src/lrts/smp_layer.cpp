@@ -80,6 +80,8 @@ struct SmpLayer::NodeState {
     void* msg = nullptr;
   };
   std::deque<Pending> backlog;
+  int backlog_attempts = 0;      // consecutive failed flush attempts
+  SimTime backlog_retry_at = 0;  // no flush retry before this instant
 
   // Rendezvous bookkeeping (node-level).
   struct LargeSend {
@@ -124,6 +126,14 @@ void SmpLayer::ensure_domain(converse::Machine& m) {
   c_comm_thread_sends_ = &reg.counter("smp.comm_thread_sends");
   c_rendezvous_gets_ = &reg.counter("smp.rendezvous_gets");
   c_comm_thread_busy_defers_ = &reg.counter("smp.comm_thread_busy_defers");
+  c_retry_smsg_ = &reg.counter("retry_smsg");
+  c_retry_post_ = &reg.counter("retry_post");
+  c_retry_mem_register_ = &reg.counter("retry_mem_register");
+  c_retry_escalations_ = &reg.counter("retry_escalations");
+  c_fallback_rendezvous_ = &reg.counter("fallback_rendezvous");
+  c_fallback_heap_ = &reg.counter("fallback_heap_send");
+  c_cq_recovered_ = &reg.counter("cq_overrun_recovered");
+  retry_ = m.options().retry;
   domain_ = std::make_unique<ugni::Domain>(m.network());
   smsg_cap_ = m.options().mc.smsg_max_for_job(m.options().nodes());
   nodes_.resize(static_cast<std::size_t>(m.options().nodes()));
@@ -242,7 +252,15 @@ void SmpLayer::collect_metrics(trace::MetricsRegistry& reg) {
 void* SmpLayer::alloc(sim::Context& ctx, converse::Pe& pe,
                       std::size_t bytes) {
   NodeState& n = node_state(pe.node());
-  if (n.pool) return n.pool->alloc(bytes);
+  if (n.pool) {
+    if (void* p = n.pool->alloc(bytes)) return p;
+    // Pool expansion lost its slab registration: heap fallback.
+    c_fallback_heap_->inc();
+    if (trace::enabled()) {
+      trace::emit(trace::Ev::kFallback, ctx.now(), 0, /*peer=*/-1,
+                  static_cast<std::uint32_t>(bytes));
+    }
+  }
   ctx.charge(machine_->options().mc.malloc_cost(bytes));
   return ::operator new[](bytes, std::align_val_t{16});
 }
@@ -265,7 +283,10 @@ void SmpLayer::free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) {
         return;
       }
     }
-    assert(false && "SMP free_msg: unknown buffer owner");
+    // No pool owns it: a heap-fallback buffer from alloc() after a failed
+    // slab registration.
+    ctx.charge(machine_->options().mc.free_base_ns);
+    ::operator delete[](msg, std::align_val_t{16});
     return;
   }
   ctx.charge(machine_->options().mc.free_base_ns);
@@ -327,17 +348,28 @@ void SmpLayer::comm_step(NodeState& n, SimTime t) {
   ctx.set_now(t);
   sim::ScopedContext guard(ctx);
 
-  // 1. Network arrivals.
+  // 1. Network arrivals.  ERROR_RESOURCE is a CQ overrun: recover instead
+  // of latching dead.
   for (;;) {
     ugni::gni_cq_entry_t ev;
-    if (ugni::GNI_CqGetEvent(n.rx_cq, &ev) != ugni::GNI_RC_SUCCESS) break;
+    ugni::gni_return_t rc = ugni::GNI_CqGetEvent(n.rx_cq, &ev);
+    if (rc == ugni::GNI_RC_ERROR_RESOURCE) {
+      detail::recover_cq(n.rx_cq, c_cq_recovered_);
+      continue;
+    }
+    if (rc != ugni::GNI_RC_SUCCESS) break;
     if (ev.type == ugni::CqEventType::kSmsg) {
       comm_handle_smsg(ctx, n, ev.source_inst);
     }
   }
   for (;;) {
     ugni::gni_cq_entry_t ev;
-    if (ugni::GNI_CqGetEvent(n.tx_cq, &ev) != ugni::GNI_RC_SUCCESS) break;
+    ugni::gni_return_t rc = ugni::GNI_CqGetEvent(n.tx_cq, &ev);
+    if (rc == ugni::GNI_RC_ERROR_RESOURCE) {
+      detail::recover_cq(n.tx_cq, c_cq_recovered_);
+      continue;
+    }
+    if (rc != ugni::GNI_RC_SUCCESS) break;
     if (ev.type == ugni::CqEventType::kPostLocal) {
       comm_handle_completion(ctx, n, ev);
     }
@@ -361,29 +393,7 @@ void SmpLayer::comm_step(NodeState& n, SimTime t) {
       comm_send(ctx, n, out.dest_pe, kTagData, out.msg, out.size, out.msg);
       continue;
     }
-    // Rendezvous: the buffer lives in the node pool (pre-registered) or is
-    // registered here by the comm thread.
-    ugni::gni_mem_handle_t hndl{};
-    if (n.pool && n.pool->owns(out.msg)) {
-      hndl = n.pool->handle_of(out.msg);
-    } else {
-      ugni::gni_return_t rc = ugni::GNI_MemRegister(
-          n.nic, reinterpret_cast<std::uint64_t>(out.msg), out.size, nullptr,
-          0, &hndl);
-      assert(rc == ugni::GNI_RC_SUCCESS);
-      (void)rc;
-    }
-    std::uint64_t id = n.next_send_id++;
-    n.sends.emplace(id, NodeState::LargeSend{out.msg});
-    InitCtrl ctrl;
-    ctrl.send_id = id;
-    ctrl.addr = reinterpret_cast<std::uint64_t>(out.msg);
-    ctrl.hndl = hndl;
-    ctrl.size = out.size;
-    ctrl.dest_pe = out.dest_pe;
-    if (trace::enabled())
-      trace::emit(trace::Ev::kRdvInit, ctx.now(), 0, out.dest_pe, out.size);
-    comm_send(ctx, n, out.dest_pe, kTagInit, &ctrl, sizeof(ctrl), nullptr);
+    begin_node_rendezvous(ctx, n, out.dest_pe, out.size, out.msg);
   }
   n.outq.swap(later);
 
@@ -391,6 +401,8 @@ void SmpLayer::comm_step(NodeState& n, SimTime t) {
   if (!n.outq.empty() || !n.backlog.empty()) {
     c_comm_thread_busy_defers_->inc();
     SimTime next = n.comm_avail + (n.backlog.empty() ? 0 : 500);
+    // A backed-off backlog must not busy-spin before its retry instant.
+    if (!n.backlog.empty()) next = std::max(next, n.backlog_retry_at);
     for (const auto& out : n.outq) next = std::min(next, out.ready);
     comm_wake(n, std::max(next, n.comm_avail));
   }
@@ -399,6 +411,34 @@ void SmpLayer::comm_step(NodeState& n, SimTime t) {
     n.comm_pending_wake = kNever;
     comm_wake(n, w);
   }
+}
+
+void SmpLayer::begin_node_rendezvous(sim::Context& ctx, NodeState& n,
+                                     int dest_pe, std::uint32_t size,
+                                     void* msg) {
+  // Rendezvous: the buffer lives in the node pool (pre-registered) or is
+  // registered here by the comm thread (with backoff on transient
+  // resource exhaustion).
+  ugni::gni_mem_handle_t hndl{};
+  if (n.pool && n.pool->owns(msg)) {
+    hndl = n.pool->handle_of(msg);
+  } else {
+    detail::register_with_retry(ctx, retry_, n.nic,
+                                reinterpret_cast<std::uint64_t>(msg), size,
+                                nullptr, &hndl,
+                                {c_retry_mem_register_, c_retry_escalations_});
+  }
+  std::uint64_t id = n.next_send_id++;
+  n.sends.emplace(id, NodeState::LargeSend{msg});
+  InitCtrl ctrl;
+  ctrl.send_id = id;
+  ctrl.addr = reinterpret_cast<std::uint64_t>(msg);
+  ctrl.hndl = hndl;
+  ctrl.size = size;
+  ctrl.dest_pe = dest_pe;
+  if (trace::enabled())
+    trace::emit(trace::Ev::kRdvInit, ctx.now(), 0, dest_pe, size);
+  comm_send(ctx, n, dest_pe, kTagInit, &ctrl, sizeof(ctrl), nullptr);
 }
 
 void SmpLayer::comm_send(sim::Context& ctx, NodeState& n, int dest_pe,
@@ -428,7 +468,8 @@ void SmpLayer::comm_send(sim::Context& ctx, NodeState& n, int dest_pe,
         }
         return;
       }
-      assert(rc == ugni::GNI_RC_NOT_DONE);
+      ugni::check(rc, "GNI_SmsgSendWTag", ugni::GNI_RC_NOT_DONE,
+                  ugni::GNI_RC_ERROR_RESOURCE);
     }
     NodeState::Pending p;
     p.dest_node = dest_node;
@@ -443,7 +484,8 @@ void SmpLayer::comm_send(sim::Context& ctx, NodeState& n, int dest_pe,
     ugni::gni_return_t rc =
         ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, tag);
     if (rc == ugni::GNI_RC_SUCCESS) return;
-    assert(rc == ugni::GNI_RC_NOT_DONE);
+    ugni::check(rc, "GNI_SmsgSendWTag", ugni::GNI_RC_NOT_DONE,
+                ugni::GNI_RC_ERROR_RESOURCE);
   }
   NodeState::Pending p;
   p.dest_node = dest_node;
@@ -455,13 +497,56 @@ void SmpLayer::comm_send(sim::Context& ctx, NodeState& n, int dest_pe,
 }
 
 void SmpLayer::comm_flush(sim::Context& ctx, NodeState& n) {
+  if (n.backlog.empty()) return;
+  // See UgniLayer::flush_backlog: the backoff/demotion machinery engages
+  // only under an active fault plan; otherwise stalls are plain credit
+  // exhaustion and the credit-return notify is the exact wake.
+  const bool faulty = machine_->fault_injector() != nullptr;
+  if (faulty && ctx.now() < n.backlog_retry_at) return;
   while (!n.backlog.empty()) {
     NodeState::Pending& p = n.backlog.front();
     ugni::gni_ep_handle_t ep = ensure_channel(ctx, n, p.dest_node);
     ugni::gni_return_t rc = ugni::GNI_SmsgSendWTag(
         ep, p.ctrl.data(), static_cast<std::uint32_t>(p.ctrl.size()),
         nullptr, 0, 0, p.tag);
-    if (rc != ugni::GNI_RC_SUCCESS) return;
+    if (rc != ugni::GNI_RC_SUCCESS) {
+      ugni::check(rc, "GNI_SmsgSendWTag (backlog)", ugni::GNI_RC_NOT_DONE,
+                  ugni::GNI_RC_ERROR_RESOURCE);
+      if (!faulty) return;
+      ++n.backlog_attempts;
+      c_retry_smsg_->inc();
+      if (n.backlog_attempts == retry_.max_retries + 1) {
+        c_retry_escalations_->inc();
+        UGNIRT_WARN("node " << n.node
+                            << ": smsg backlog still stalled after "
+                            << retry_.max_retries
+                            << " retries; continuing at capped backoff");
+      }
+      // Sustained starvation: route the stalled data message around the
+      // SMSG credits entirely via the rendezvous path.
+      if (n.backlog_attempts >= retry_.demote_after && p.tag == kTagData &&
+          p.msg) {
+        void* msg = p.msg;
+        const int dest_pe = p.dest_pe;
+        const std::uint32_t size = header_of(msg)->size;
+        n.backlog.pop_front();
+        n.backlog_attempts = 0;
+        c_fallback_rendezvous_->inc();
+        if (trace::enabled()) {
+          trace::emit(trace::Ev::kFallback, ctx.now(), 0, dest_pe, size);
+        }
+        begin_node_rendezvous(ctx, n, dest_pe, size, msg);
+        continue;
+      }
+      const SimTime pause = retry_.backoff_for(n.backlog_attempts);
+      if (trace::enabled()) {
+        trace::emit(trace::Ev::kRetryBackoff, ctx.now(), pause, p.dest_pe,
+                    static_cast<std::uint32_t>(n.backlog_attempts));
+      }
+      n.backlog_retry_at = ctx.now() + pause;
+      return;
+    }
+    n.backlog_attempts = 0;
     if (p.msg) {
       if (n.pool && n.pool->owns(p.msg)) {
         n.pool->free(p.msg);
@@ -495,10 +580,14 @@ void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
       std::memcpy(&dest_pe, data, 4);
       const auto* h = header_of(static_cast<std::uint8_t*>(data) + 4);
       std::uint32_t size = h->size;
-      void* buf;
-      if (n.pool) {
-        buf = n.pool->alloc(size);
-      } else {
+      void* buf = n.pool ? n.pool->alloc(size) : nullptr;
+      if (!buf) {
+        if (n.pool) {
+          c_fallback_heap_->inc();
+          if (trace::enabled()) {
+            trace::emit(trace::Ev::kFallback, ctx.now(), 0, dest_pe, size);
+          }
+        }
         ctx.charge(mc.malloc_cost(size));
         buf = ::operator new[](size, std::align_val_t{16});
       }
@@ -519,17 +608,24 @@ void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
       lr.src_node = node_state(src_inst).node;
       lr.dest_pe = ctrl.dest_pe;
       ugni::gni_mem_handle_t local{};
-      if (n.pool) {
-        lr.buf = n.pool->alloc(ctrl.size);
-        local = n.pool->handle_of(lr.buf);
+      void* pooled = n.pool ? n.pool->alloc(ctrl.size) : nullptr;
+      if (pooled) {
+        lr.buf = pooled;
+        local = n.pool->handle_of(pooled);
       } else {
+        if (n.pool) {
+          c_fallback_heap_->inc();
+          if (trace::enabled()) {
+            trace::emit(trace::Ev::kFallback, ctx.now(), 0, ctrl.dest_pe,
+                        ctrl.size);
+          }
+        }
         ctx.charge(mc.malloc_cost(ctrl.size));
         lr.buf = ::operator new[](ctrl.size, std::align_val_t{16});
-        ugni::gni_return_t rr = ugni::GNI_MemRegister(
-            n.nic, reinterpret_cast<std::uint64_t>(lr.buf), ctrl.size,
-            nullptr, 0, &local);
-        assert(rr == ugni::GNI_RC_SUCCESS);
-        (void)rr;
+        detail::register_with_retry(
+            ctx, retry_, n.nic, reinterpret_cast<std::uint64_t>(lr.buf),
+            ctrl.size, nullptr, &local,
+            {c_retry_mem_register_, c_retry_escalations_});
       }
       lr.desc = std::make_unique<ugni::gni_post_descriptor_t>();
       lr.desc->type = ctrl.size < mc.rdma_threshold
@@ -543,11 +639,9 @@ void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
       std::uint64_t rid = n.next_recv_id++;
       lr.desc->post_id = rid;
       ugni::gni_ep_handle_t back = ensure_channel(ctx, n, lr.src_node);
-      ugni::gni_return_t pr = lr.desc->type == ugni::GNI_POST_FMA_GET
-                                  ? ugni::GNI_PostFma(back, lr.desc.get())
-                                  : ugni::GNI_PostRdma(back, lr.desc.get());
-      assert(pr == ugni::GNI_RC_SUCCESS);
-      (void)pr;
+      detail::post_with_retry(ctx, retry_, back, lr.desc.get(),
+                              lr.desc->type == ugni::GNI_POST_RDMA_GET,
+                              {c_retry_post_, c_retry_escalations_});
       c_rendezvous_gets_->inc();
       if (trace::enabled())
         trace::emit(trace::Ev::kRdvGet, ctx.now(), 0, lr.src_node, ctrl.size);
@@ -577,9 +671,8 @@ void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
 void SmpLayer::comm_handle_completion(sim::Context& ctx, NodeState& n,
                                       const ugni::gni_cq_entry_t& ev) {
   ugni::gni_post_descriptor_t* desc = nullptr;
-  ugni::gni_return_t rc = ugni::GNI_GetCompleted(n.tx_cq, ev, &desc);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  (void)rc;
+  ugni::check(ugni::GNI_GetCompleted(n.tx_cq, ev, &desc),
+              "GNI_GetCompleted");
   auto it = n.recvs.find(desc->post_id);
   assert(it != n.recvs.end());
   NodeState::LargeRecv& lr = it->second;

@@ -29,7 +29,9 @@
 #include <vector>
 
 #include "converse/machine.hpp"
+#include "fault/retry.hpp"
 #include "lrts/layer_stats.hpp"
+#include "lrts/retry_util.hpp"
 #include "mempool/mempool.hpp"
 #include "ugni/ugni.hpp"
 
@@ -77,18 +79,30 @@ class SmpLayer final : public converse::MachineLayer {
                  std::uint8_t tag, const void* bytes, std::uint32_t len,
                  void* owned_msg);
   void comm_flush(sim::Context& ctx, NodeState& n);
+  /// Start the node-level rendezvous protocol for `msg` (register or
+  /// pool-resolve, then send/queue the INIT control message).
+  void begin_node_rendezvous(sim::Context& ctx, NodeState& n, int dest_pe,
+                             std::uint32_t size, void* msg);
   void deliver_to_worker(NodeState& n, int pe, void* msg, SimTime t);
 
   converse::Machine* machine_ = nullptr;
   std::unique_ptr<ugni::Domain> domain_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::uint32_t smsg_cap_ = 1024;
+  fault::RetryPolicy retry_{};
 
   // Hot-path counters bound to the machine registry in ensure_domain.
   trace::Counter* c_intra_node_ptr_msgs_ = nullptr;
   trace::Counter* c_comm_thread_sends_ = nullptr;
   trace::Counter* c_rendezvous_gets_ = nullptr;
   trace::Counter* c_comm_thread_busy_defers_ = nullptr;
+  trace::Counter* c_retry_smsg_ = nullptr;
+  trace::Counter* c_retry_post_ = nullptr;
+  trace::Counter* c_retry_mem_register_ = nullptr;
+  trace::Counter* c_retry_escalations_ = nullptr;
+  trace::Counter* c_fallback_rendezvous_ = nullptr;
+  trace::Counter* c_fallback_heap_ = nullptr;
+  trace::Counter* c_cq_recovered_ = nullptr;
 };
 
 }  // namespace ugnirt::lrts

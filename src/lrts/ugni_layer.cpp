@@ -120,6 +120,8 @@ struct UgniLayer::PeState final : converse::LayerPeState {
     void* msg = nullptr;             // data payload (kTagData), owned
   };
   std::deque<Pending> backlog;
+  int backlog_attempts = 0;      // consecutive failed flush attempts
+  SimTime backlog_retry_at = 0;  // no flush retry before this instant
 
   ~PeState() override {
     for (auto& p : backlog) {
@@ -200,6 +202,14 @@ void UgniLayer::ensure_domain(converse::Machine& m) {
   c_pxshm_msgs_ = &reg.counter("ugni.pxshm_msgs");
   c_credit_stalls_ = &reg.counter("ugni.credit_stalls");
   c_registrations_ = &reg.counter("ugni.registrations");
+  c_retry_smsg_ = &reg.counter("retry_smsg");
+  c_retry_post_ = &reg.counter("retry_post");
+  c_retry_mem_register_ = &reg.counter("retry_mem_register");
+  c_retry_escalations_ = &reg.counter("retry_escalations");
+  c_fallback_rendezvous_ = &reg.counter("fallback_rendezvous");
+  c_fallback_heap_ = &reg.counter("fallback_heap_send");
+  c_cq_recovered_ = &reg.counter("cq_overrun_recovered");
+  retry_ = m.options().retry;
   domain_ = std::make_unique<ugni::Domain>(m.network());
   states_.resize(static_cast<std::size_t>(m.num_pes()), nullptr);
   node_shm_.resize(static_cast<std::size_t>(m.options().nodes()));
@@ -305,7 +315,16 @@ ugni::gni_ep_handle_t UgniLayer::ensure_channel(sim::Context& ctx,
 void* UgniLayer::alloc(sim::Context& ctx, converse::Pe& pe,
                        std::size_t bytes) {
   PeState& s = state(pe);
-  if (s.pool) return s.pool->alloc(bytes);
+  if (s.pool) {
+    if (void* p = s.pool->alloc(bytes)) return p;
+    // Pool expansion lost its slab registration (resource fault): fall
+    // back to a plain heap buffer; free_msg routes it back to the heap.
+    c_fallback_heap_->inc();
+    if (trace::enabled()) {
+      trace::emit(trace::Ev::kFallback, ctx.now(), 0, /*peer=*/-1,
+                  static_cast<std::uint32_t>(bytes));
+    }
+  }
   // "Original" path: modeled system malloc.
   ctx.charge(machine_->options().mc.malloc_cost(bytes));
   return ::operator new[](bytes, std::align_val_t{16});
@@ -327,7 +346,10 @@ void UgniLayer::free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) {
         return;
       }
     }
-    assert(false && "free_msg: pool cannot locate buffer owner");
+    // No pool owns it: a heap-fallback buffer from alloc() after a failed
+    // slab registration.
+    ctx.charge(machine_->options().mc.free_base_ns);
+    ::operator delete[](msg, std::align_val_t{16});
     return;
   }
   ctx.charge(machine_->options().mc.free_base_ns);
@@ -355,7 +377,11 @@ void UgniLayer::smsg_send(sim::Context& ctx, PeState& src, int dest_pe,
       if (owned_msg) free_msg(ctx, *src.pe, owned_msg);
       return;
     }
-    assert(rc == ugni::GNI_RC_NOT_DONE);
+    // NOT_DONE: out of credits or a starvation window; ERROR_RESOURCE: an
+    // injected transient send failure.  Both queue and retry from
+    // flush_backlog; anything else is a contract violation.
+    ugni::check(rc, "GNI_SmsgSendWTag", ugni::GNI_RC_NOT_DONE,
+                ugni::GNI_RC_ERROR_RESOURCE);
   }
   // Out of credits (or draining in order behind earlier stalls): queue.
   c_credit_stalls_->inc();
@@ -377,6 +403,17 @@ void UgniLayer::smsg_send(sim::Context& ctx, PeState& src, int dest_pe,
 }
 
 void UgniLayer::flush_backlog(sim::Context& ctx, PeState& s) {
+  if (s.backlog.empty()) return;
+  // With a fault plan active the backlog retries under the RetryPolicy:
+  // stalls may be injected starvation windows that consume no credits, so
+  // the credit-return notify alone cannot be relied on to wake us.
+  // Without faults, stalls are genuine credit exhaustion and the notify
+  // is the precise (and cheapest) wake — keep the seed behavior exactly.
+  const bool faulty = machine_->fault_injector() != nullptr;
+  if (faulty && ctx.now() < s.backlog_retry_at) {
+    s.pe->wake(s.backlog_retry_at);
+    return;
+  }
   const bool msgq_mode = machine_->options().use_msgq;
   while (!s.backlog.empty()) {
     PeState::Pending& p = s.backlog.front();
@@ -391,11 +428,61 @@ void UgniLayer::flush_backlog(sim::Context& ctx, PeState& s) {
       ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, p.dest_pe);
       rc = ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, p.tag);
     }
-    if (rc != ugni::GNI_RC_SUCCESS) return;  // still stalled
+    if (rc != ugni::GNI_RC_SUCCESS) {  // still stalled
+      ugni::check(rc, "GNI_SmsgSendWTag (backlog)", ugni::GNI_RC_NOT_DONE,
+                  ugni::GNI_RC_ERROR_RESOURCE);
+      if (!faulty) return;
+      ++s.backlog_attempts;
+      c_retry_smsg_->inc();
+      if (s.backlog_attempts == retry_.max_retries + 1) {
+        c_retry_escalations_->inc();
+        UGNIRT_WARN("pe " << s.pe->id()
+                          << ": smsg backlog still stalled after "
+                          << retry_.max_retries
+                          << " retries; continuing at capped backoff");
+      }
+      // After sustained starvation, stop competing for SMSG credits:
+      // demote the stalled data message to the credit-free rendezvous
+      // path (large-message protocol, any size).
+      if (s.backlog_attempts >= retry_.demote_after &&
+          demote_front_to_rendezvous(ctx, s)) {
+        s.backlog_attempts = 0;
+        continue;
+      }
+      const SimTime pause = retry_.backoff_for(s.backlog_attempts);
+      if (trace::enabled()) {
+        trace::emit(trace::Ev::kRetryBackoff, ctx.now(), pause, p.dest_pe,
+                    static_cast<std::uint32_t>(s.backlog_attempts));
+      }
+      s.backlog_retry_at = ctx.now() + pause;
+      s.pe->wake(s.backlog_retry_at);
+      return;
+    }
+    s.backlog_attempts = 0;
     c_smsg_sends_->inc();
     if (p.msg) free_msg(ctx, *s.pe, p.msg);
     s.backlog.pop_front();
   }
+}
+
+bool UgniLayer::demote_front_to_rendezvous(sim::Context& ctx, PeState& s) {
+  PeState::Pending& p = s.backlog.front();
+  // Only whole data messages can demote; control messages ARE the
+  // rendezvous protocol and must stay on the SMSG path.
+  if (!p.msg || p.tag != kTagData) return false;
+  void* msg = p.msg;
+  const int dest_pe = p.dest_pe;
+  const std::uint32_t size = header_of(msg)->size;
+  s.backlog.pop_front();
+  c_fallback_rendezvous_->inc();
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kFallback, ctx.now(), 0, dest_pe, size);
+  }
+  UGNIRT_TRACELOG("smsg starvation: demoting " << size << " B -> pe "
+                                               << dest_pe
+                                               << " to rendezvous");
+  begin_rendezvous(ctx, s, dest_pe, size, msg);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -419,17 +506,23 @@ void UgniLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
   }
 
   // Rendezvous (Fig 5): register / resolve the send buffer, ship INIT_TAG.
+  begin_rendezvous(ctx, s, dest_pe, size, msg);
+}
+
+void UgniLayer::begin_rendezvous(sim::Context& ctx, PeState& s, int dest_pe,
+                                 std::uint32_t size, void* msg) {
   PeState::LargeSend ls;
   ls.msg = msg;
-  if (s.pool) {
+  if (s.pool && s.pool->owns(msg)) {
     ls.hndl = s.pool->handle_of(msg);
     ls.registered = false;
   } else {
-    ugni::gni_return_t rc = ugni::GNI_MemRegister(
-        s.nic, reinterpret_cast<std::uint64_t>(msg), size, nullptr, 0,
-        &ls.hndl);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    (void)rc;
+    // Heap buffer (no pool, or a heap-fallback allocation): register it,
+    // retrying under the policy on transient resource exhaustion.
+    detail::register_with_retry(ctx, retry_, s.nic,
+                                reinterpret_cast<std::uint64_t>(msg), size,
+                                nullptr, &ls.hndl,
+                                {c_retry_mem_register_, c_retry_escalations_});
     ls.registered = true;
     c_registrations_->inc();
   }
@@ -444,7 +537,7 @@ void UgniLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
   ctrl.addr = reinterpret_cast<std::uint64_t>(msg);
   ctrl.hndl = ls.hndl;
   ctrl.size = size;
-  ctrl.src_pe = src.id();
+  ctrl.src_pe = s.pe->id();
   smsg_send(ctx, s, dest_pe, kTagInit, &ctrl, sizeof(ctrl), nullptr);
 }
 
@@ -455,10 +548,15 @@ void UgniLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
 void UgniLayer::advance(sim::Context& ctx, converse::Pe& pe) {
   PeState& s = state(pe);
 
-  // Drain SMSG arrivals.
+  // Drain SMSG arrivals.  ERROR_RESOURCE means the CQ overran: recover
+  // (drain + resynthesize from mailbox state) instead of latching dead.
   for (;;) {
     ugni::gni_cq_entry_t ev;
     ugni::gni_return_t rc = ugni::GNI_CqGetEvent(s.rx_cq, &ev);
+    if (rc == ugni::GNI_RC_ERROR_RESOURCE) {
+      detail::recover_cq(s.rx_cq, c_cq_recovered_);
+      continue;
+    }
     if (rc != ugni::GNI_RC_SUCCESS) break;
     if (ev.type == ugni::CqEventType::kSmsg) {
       handle_smsg(ctx, pe, s, ev.source_inst);
@@ -479,10 +577,14 @@ void UgniLayer::advance(sim::Context& ctx, converse::Pe& pe) {
     }
   }
 
-  // Drain FMA/BTE completions.
+  // Drain FMA/BTE completions, with the same overrun recovery.
   for (;;) {
     ugni::gni_cq_entry_t ev;
     ugni::gni_return_t rc = ugni::GNI_CqGetEvent(s.tx_cq, &ev);
+    if (rc == ugni::GNI_RC_ERROR_RESOURCE) {
+      detail::recover_cq(s.tx_cq, c_cq_recovered_);
+      continue;
+    }
     if (rc != ugni::GNI_RC_SUCCESS) break;
     if (ev.type == ugni::CqEventType::kPostLocal) {
       handle_completion(ctx, pe, s, ev);
@@ -532,18 +634,26 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
       PeState::LargeRecv lr;
       lr.send_id = ctrl.send_id;
       lr.src_pe = ctrl.src_pe;
-      if (s.pool) {
-        lr.buf = s.pool->alloc(ctrl.size);
-        lr.local_hndl = s.pool->handle_of(lr.buf);
+      void* pooled = s.pool ? s.pool->alloc(ctrl.size) : nullptr;
+      if (pooled) {
+        lr.buf = pooled;
+        lr.local_hndl = s.pool->handle_of(pooled);
         lr.registered = false;
       } else {
+        if (s.pool) {
+          // Pool expansion failed: heap-registered landing buffer instead.
+          c_fallback_heap_->inc();
+          if (trace::enabled()) {
+            trace::emit(trace::Ev::kFallback, ctx.now(), 0, ctrl.src_pe,
+                        ctrl.size);
+          }
+        }
         ctx.charge(mc.malloc_cost(ctrl.size));
         lr.buf = ::operator new[](ctrl.size, std::align_val_t{16});
-        ugni::gni_return_t rr = ugni::GNI_MemRegister(
-            s.nic, reinterpret_cast<std::uint64_t>(lr.buf), ctrl.size,
-            nullptr, 0, &lr.local_hndl);
-        assert(rr == ugni::GNI_RC_SUCCESS);
-        (void)rr;
+        detail::register_with_retry(
+            ctx, retry_, s.nic, reinterpret_cast<std::uint64_t>(lr.buf),
+            ctrl.size, nullptr, &lr.local_hndl,
+            {c_retry_mem_register_, c_retry_escalations_});
         lr.registered = true;
         c_registrations_->inc();
       }
@@ -560,12 +670,9 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
       lr.desc->post_id = rid;
 
       ugni::gni_ep_handle_t back = ensure_channel(ctx, s, ctrl.src_pe);
-      ugni::gni_return_t pr =
-          lr.desc->type == ugni::GNI_POST_FMA_GET
-              ? ugni::GNI_PostFma(back, lr.desc.get())
-              : ugni::GNI_PostRdma(back, lr.desc.get());
-      assert(pr == ugni::GNI_RC_SUCCESS);
-      (void)pr;
+      detail::post_with_retry(ctx, retry_, back, lr.desc.get(),
+                              lr.desc->type == ugni::GNI_POST_RDMA_GET,
+                              {c_retry_post_, c_retry_escalations_});
       c_rendezvous_gets_->inc();
       if (trace::enabled()) {
         trace::emit(trace::Ev::kRdvGet, ctx.now(), 0, ctrl.src_pe,
@@ -608,9 +715,8 @@ void UgniLayer::handle_completion(sim::Context& ctx, converse::Pe& pe,
                                   PeState& s,
                                   const ugni::gni_cq_entry_t& ev) {
   ugni::gni_post_descriptor_t* desc = nullptr;
-  ugni::gni_return_t rc = ugni::GNI_GetCompleted(s.tx_cq, ev, &desc);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  (void)rc;
+  ugni::check(ugni::GNI_GetCompleted(s.tx_cq, ev, &desc),
+              "GNI_GetCompleted");
 
   if (auto it = s.recvs.find(desc->post_id); it != s.recvs.end()) {
     // Our GET finished: ACK the sender, deliver the message (Fig 5).
@@ -669,17 +775,23 @@ converse::PersistentHandle UgniLayer::create_persistent(
 
   PeState::PersistRx rx;
   rx.max_bytes = max_bytes;
-  if (d.pool) {
-    rx.buf = d.pool->alloc(max_bytes);
-    rx.hndl = d.pool->handle_of(rx.buf);
+  void* pooled = d.pool ? d.pool->alloc(max_bytes) : nullptr;
+  if (pooled) {
+    rx.buf = pooled;
+    rx.hndl = d.pool->handle_of(pooled);
   } else {
+    if (d.pool) {
+      c_fallback_heap_->inc();
+      if (trace::enabled()) {
+        trace::emit(trace::Ev::kFallback, ctx.now(), 0, dest_pe, max_bytes);
+      }
+    }
     ctx.charge(mc.malloc_cost(max_bytes));
     rx.buf = ::operator new[](max_bytes, std::align_val_t{16});
-    ugni::gni_return_t rc = ugni::GNI_MemRegister(
-        d.nic, reinterpret_cast<std::uint64_t>(rx.buf), max_bytes, nullptr, 0,
-        &rx.hndl);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    (void)rc;
+    detail::register_with_retry(ctx, retry_, d.nic,
+                                reinterpret_cast<std::uint64_t>(rx.buf),
+                                max_bytes, nullptr, &rx.hndl,
+                                {c_retry_mem_register_, c_retry_escalations_});
   }
   d.persist_rx.push_back(rx);
 
@@ -717,18 +829,16 @@ void UgniLayer::send_persistent(sim::Context& ctx, converse::Pe& src,
   ps.app_owned =
       (header_of(msg)->flags & kMsgFlagNoFree) != 0;  // app reuses buffer
   ugni::gni_mem_handle_t local_hndl{};
-  if (s.pool) {
+  if (s.pool && s.pool->owns(msg)) {
     local_hndl = s.pool->handle_of(msg);
   } else if (auto it = s.persist_send_reg.find(msg);
              it != s.persist_send_reg.end()) {
     local_hndl = it->second;  // registered on an earlier iteration
   } else {
-    ugni::gni_return_t rc = ugni::GNI_MemRegister(
-        s.nic, reinterpret_cast<std::uint64_t>(msg),
-        std::max<std::uint32_t>(size, tx.max_bytes), nullptr, 0,
-        &local_hndl);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    (void)rc;
+    detail::register_with_retry(
+        ctx, retry_, s.nic, reinterpret_cast<std::uint64_t>(msg),
+        std::max<std::uint32_t>(size, tx.max_bytes), nullptr, &local_hndl,
+        {c_retry_mem_register_, c_retry_escalations_});
     s.persist_send_reg.emplace(msg, local_hndl);
   }
 
@@ -747,11 +857,9 @@ void UgniLayer::send_persistent(sim::Context& ctx, converse::Pe& src,
   header_of(msg)->flags |= kMsgFlagNoFree;
 
   ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, tx.dest_pe);
-  ugni::gni_return_t rc = ps.desc->type == ugni::GNI_POST_FMA_PUT
-                              ? ugni::GNI_PostFma(ep, ps.desc.get())
-                              : ugni::GNI_PostRdma(ep, ps.desc.get());
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  (void)rc;
+  detail::post_with_retry(ctx, retry_, ep, ps.desc.get(),
+                          ps.desc->type == ugni::GNI_POST_RDMA_PUT,
+                          {c_retry_post_, c_retry_escalations_});
   c_persistent_puts_->inc();
   if (trace::enabled()) {
     trace::emit(trace::Ev::kPersistPut, ctx.now(), 0, tx.dest_pe, size);

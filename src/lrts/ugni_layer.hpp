@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "converse/machine.hpp"
+#include "fault/retry.hpp"
 #include "lrts/layer_stats.hpp"
+#include "lrts/retry_util.hpp"
 #include "mempool/mempool.hpp"
 #include "ugni/ugni.hpp"
 
@@ -88,6 +90,13 @@ class UgniLayer final : public converse::MachineLayer {
                  std::uint8_t tag, const void* bytes, std::uint32_t len,
                  void* owned_msg);
   void flush_backlog(sim::Context& ctx, PeState& s);
+  /// Convert the backlog's front kTagData entry to a rendezvous INIT
+  /// (credit-free path) after sustained SMSG starvation.
+  bool demote_front_to_rendezvous(sim::Context& ctx, PeState& s);
+  /// Start the rendezvous protocol for `msg` (register or pool-resolve,
+  /// then send/queue the INIT control message).
+  void begin_rendezvous(sim::Context& ctx, PeState& s, int dest_pe,
+                        std::uint32_t size, void* msg);
 
   void handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
                    int src_inst);
@@ -106,6 +115,7 @@ class UgniLayer final : public converse::MachineLayer {
   std::vector<PeState*> states_;  // borrowed; owned by Pe::layer_state
   std::vector<std::unique_ptr<NodeShm>> node_shm_;
   std::uint32_t smsg_cap_ = 1024;
+  fault::RetryPolicy retry_{};
 
   // Hot-path counters, bound to the machine registry in ensure_domain
   // (std::map node addresses are stable, so the pointers stay valid).
@@ -115,6 +125,13 @@ class UgniLayer final : public converse::MachineLayer {
   trace::Counter* c_pxshm_msgs_ = nullptr;
   trace::Counter* c_credit_stalls_ = nullptr;
   trace::Counter* c_registrations_ = nullptr;
+  trace::Counter* c_retry_smsg_ = nullptr;
+  trace::Counter* c_retry_post_ = nullptr;
+  trace::Counter* c_retry_mem_register_ = nullptr;
+  trace::Counter* c_retry_escalations_ = nullptr;
+  trace::Counter* c_fallback_rendezvous_ = nullptr;
+  trace::Counter* c_fallback_heap_ = nullptr;
+  trace::Counter* c_cq_recovered_ = nullptr;
 };
 
 }  // namespace ugnirt::lrts

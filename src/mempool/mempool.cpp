@@ -50,7 +50,7 @@ std::size_t MemPool::bin_block_size(std::size_t bin) {
   return kMinBlock << bin;
 }
 
-void MemPool::add_slab(std::size_t min_bytes) {
+bool MemPool::add_slab(std::size_t min_bytes) {
   // Grow geometrically, and always leave room for several blocks of the
   // triggering size so steady-state traffic of one size class stops
   // expanding after one or two slabs (each expansion pays registration).
@@ -69,7 +69,12 @@ void MemPool::add_slab(std::size_t min_bytes) {
       nic_, reinterpret_cast<std::uint64_t>(slab.memory.get()), size,
       /*dst_cq=*/nullptr, 0, &slab.handle);
   if (rc != ugni::GNI_RC_SUCCESS) {
-    throw std::runtime_error("MemPool: slab registration failed");
+    // Registration refused (MDD/TLB pressure, or an injected fault): the
+    // allocation that triggered the expansion falls back to the caller's
+    // heap path; the pool itself stays usable with its existing slabs.
+    UGNIRT_WARN("mempool slab registration failed (rc=" << rc << ", "
+                                                        << size << " B)");
+    return false;
   }
   slabs_.push_back(std::move(slab));
   stats_.slab_bytes += size;
@@ -81,6 +86,7 @@ void MemPool::add_slab(std::size_t min_bytes) {
   UGNIRT_DEBUG("mempool slab +" << size << " B (total "
                                 << stats_.slab_bytes << " B, "
                                 << stats_.expansions << " expansions)");
+  return true;
 }
 
 void* MemPool::carve(std::size_t bin, std::size_t block) {
@@ -98,7 +104,7 @@ void* MemPool::carve(std::size_t bin, std::size_t block) {
       return base + kHeaderSize;
     }
   }
-  add_slab(need);
+  if (!add_slab(need)) return nullptr;
   return carve(bin, block);
 }
 
@@ -124,7 +130,12 @@ void* MemPool::alloc(std::size_t bytes) {
     trace::emit(trace::Ev::kPoolMiss, ctx().now(), 0, /*peer=*/-1,
                 static_cast<std::uint32_t>(bytes));
   }
-  return carve(bin, bin_block_size(bin));
+  void* p = carve(bin, bin_block_size(bin));
+  if (!p) {
+    --stats_.allocs;
+    --stats_.outstanding;
+  }
+  return p;
 }
 
 void MemPool::free(void* p) {

@@ -43,6 +43,9 @@ class MemPool {
   /// Allocate a buffer of at least `bytes`.  O(1) except on expansion.
   /// Charges mempool_alloc_ns (plus expansion costs when a new slab is
   /// needed).  Returned memory is always inside a registered region.
+  /// Returns nullptr when the pool must expand but slab registration fails
+  /// (GNI_RC_ERROR_RESOURCE) — callers fall back to a heap-registered
+  /// buffer and retry registration under their own backoff policy.
   void* alloc(std::size_t bytes);
 
   /// Return a buffer to its size-class free list.  Charges mempool_free_ns.
@@ -85,8 +88,10 @@ class MemPool {
   static std::size_t bin_block_size(std::size_t bin);
 
   /// Carve a block of `block` bytes for `bin`, expanding if needed.
+  /// Returns nullptr when expansion fails.
   void* carve(std::size_t bin, std::size_t block);
-  void add_slab(std::size_t min_bytes);
+  /// False when the slab's registration was refused by the NIC.
+  bool add_slab(std::size_t min_bytes);
 
   Header* header_of(void* p) const {
     return reinterpret_cast<Header*>(static_cast<std::uint8_t*>(p) -

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "trace/events.hpp"
+#include "util/log.hpp"
+
 namespace ugnirt::mpilite {
 
 namespace {
@@ -32,6 +35,10 @@ sim::Context& ctx_now() {
   assert(c && "mpilite calls must run inside a simulated context");
   return *c;
 }
+
+/// Attempts after which a permanently-failing call aborts (a fault plan
+/// with p = 1.0 on a required resource cannot make progress).
+constexpr int kHardCap = 1000;
 
 }  // namespace
 
@@ -73,6 +80,8 @@ struct MpiComm::RankState {
     std::vector<std::uint8_t> bytes;
   };
   std::deque<PendingCtrl> backlog;
+  int backlog_attempts = 0;      // consecutive failed flush attempts
+  SimTime backlog_retry_at = 0;  // no flush retry before this instant
 
   // uDREG registration cache: page-rounded (addr,len) -> handle, LRU.
   struct UdregEntry {
@@ -127,13 +136,41 @@ void MpiComm::ensure_bounce_pool(RankState& s) {
   const std::uint32_t slots = 64;
   s.bounce_bytes = static_cast<std::uint64_t>(slot) * slots;
   s.bounce_mem = std::make_unique<std::uint8_t[]>(s.bounce_bytes);
-  ugni::gni_return_t rc = ugni::GNI_MemRegister(
-      s.nic, reinterpret_cast<std::uint64_t>(s.bounce_mem.get()),
-      s.bounce_bytes, nullptr, 0, &s.bounce_hndl);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  (void)rc;
+  register_with_retry(ctx_now(), s,
+                      reinterpret_cast<std::uint64_t>(s.bounce_mem.get()),
+                      s.bounce_bytes, &s.bounce_hndl);
   for (std::uint32_t i = 0; i < slots; ++i) {
     s.bounce_free.push_back(s.bounce_mem.get() + i * slot);
+  }
+}
+
+void MpiComm::register_with_retry(sim::Context& ctx, RankState& s,
+                                  std::uint64_t addr, std::uint64_t len,
+                                  ugni::gni_mem_handle_t* hndl_out) {
+  int failures = 0;
+  for (;;) {
+    ugni::gni_return_t rc =
+        ugni::check(ugni::GNI_MemRegister(s.nic, addr, len, nullptr, 0,
+                                          hndl_out),
+                    "GNI_MemRegister", ugni::GNI_RC_ERROR_RESOURCE);
+    if (rc == ugni::GNI_RC_SUCCESS) return;
+    if (++failures > kHardCap) {
+      ugni::detail::check_fail(rc, "GNI_MemRegister (retries exhausted)");
+    }
+    ++stats_.reg_retries;
+    if (failures == retry_.max_retries + 1) {
+      ++stats_.escalations;
+      UGNIRT_WARN("mpilite rank " << s.rank
+                                  << ": GNI_MemRegister still failing after "
+                                  << retry_.max_retries
+                                  << " retries; continuing at capped backoff");
+    }
+    const SimTime pause = retry_.backoff_for(failures);
+    if (trace::enabled()) {
+      trace::emit(trace::Ev::kRetryBackoff, ctx.now(), pause, /*peer=*/-1,
+                  static_cast<std::uint32_t>(failures));
+    }
+    ctx.charge(pause);
   }
 }
 
@@ -192,7 +229,11 @@ void MpiComm::smsg_send_ctrl(sim::Context& ctx, RankState& s, int dest,
     ugni::gni_return_t rc =
         ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, tag);
     if (rc == ugni::GNI_RC_SUCCESS) return;
-    assert(rc == ugni::GNI_RC_NOT_DONE);
+    // NOT_DONE: out of mailbox credits (or an injected starvation window);
+    // ERROR_RESOURCE: an injected transient send failure.  Both go to the
+    // internal send queue and retry from the progress engine.
+    ugni::check(rc, "GNI_SmsgSendWTag", ugni::GNI_RC_NOT_DONE,
+                ugni::GNI_RC_ERROR_RESOURCE);
   }
   // Out of mailbox credits: queue and retry from the progress engine (the
   // library keeps internal send queues for exactly this).
@@ -205,13 +246,46 @@ void MpiComm::smsg_send_ctrl(sim::Context& ctx, RankState& s, int dest,
 }
 
 void MpiComm::flush_backlog(sim::Context& ctx, RankState& s) {
+  if (s.backlog.empty()) return;
+  // Injected starvation windows consume no credits, so the credit-return
+  // notify cannot be relied on to retry; with a fault plan active the
+  // backlog backs off exponentially and re-arms its own wake instead.
+  const bool faulty = network_->fault_injector() != nullptr;
+  if (faulty && ctx.now() < s.backlog_retry_at) return;
   while (!s.backlog.empty()) {
     RankState::PendingCtrl& p = s.backlog.front();
     ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, p.dest);
     ugni::gni_return_t rc = ugni::GNI_SmsgSendWTag(
         ep, p.bytes.data(), static_cast<std::uint32_t>(p.bytes.size()),
         nullptr, 0, 0, p.tag);
-    if (rc != ugni::GNI_RC_SUCCESS) return;
+    if (rc != ugni::GNI_RC_SUCCESS) {
+      ugni::check(rc, "GNI_SmsgSendWTag (backlog)", ugni::GNI_RC_NOT_DONE,
+                  ugni::GNI_RC_ERROR_RESOURCE);
+      if (!faulty) return;
+      ++s.backlog_attempts;
+      ++stats_.smsg_retries;
+      if (s.backlog_attempts == retry_.max_retries + 1) {
+        ++stats_.escalations;
+        UGNIRT_WARN("mpilite rank " << s.rank
+                                    << ": send backlog still stalled after "
+                                    << retry_.max_retries
+                                    << " retries; continuing at capped "
+                                       "backoff");
+      }
+      const SimTime pause = retry_.backoff_for(s.backlog_attempts);
+      if (trace::enabled()) {
+        trace::emit(trace::Ev::kRetryBackoff, ctx.now(), pause, p.dest,
+                    static_cast<std::uint32_t>(s.backlog_attempts));
+      }
+      s.backlog_retry_at = ctx.now() + pause;
+      RankState* sp = &s;
+      const SimTime at = s.backlog_retry_at;
+      network_->engine().schedule_at(at, [sp, at] {
+        if (sp->wake) sp->wake(at);
+      });
+      return;
+    }
+    s.backlog_attempts = 0;
     s.backlog.pop_front();
   }
 }
@@ -242,10 +316,7 @@ ugni::gni_mem_handle_t MpiComm::udreg_lookup(sim::Context& ctx, RankState& s,
   entry.key = key;
   entry.base = base;
   entry.len = end - base;
-  ugni::gni_return_t rc = ugni::GNI_MemRegister(
-      s.nic, base, entry.len, nullptr, 0, &entry.hndl);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  (void)rc;
+  register_with_retry(ctx, s, base, entry.len, &entry.hndl);
   s.udreg_lru.push_front(entry);
   s.udreg[key] = s.udreg_lru.begin();
   if (s.udreg_lru.size() > mc.udreg_capacity) {
@@ -400,6 +471,14 @@ void MpiComm::drain(sim::Context& ctx, RankState& s) {
   for (;;) {
     ugni::gni_cq_entry_t ev;
     ugni::gni_return_t rc = ugni::GNI_CqGetEvent(s.rx_cq, &ev);
+    if (rc == ugni::GNI_RC_ERROR_RESOURCE) {
+      // CQ overrun: drain + resynthesize instead of latching dead.
+      std::uint32_t recovered = 0;
+      ugni::check(ugni::GNI_CqErrorRecover(s.rx_cq, &recovered),
+                  "GNI_CqErrorRecover");
+      ++stats_.cq_overruns_recovered;
+      continue;
+    }
     if (rc != ugni::GNI_RC_SUCCESS) break;
     if (ev.type == ugni::CqEventType::kSmsg) {
       handle_smsg(ctx, s, ev.source_inst);

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/retry.hpp"
 #include "gemini/network.hpp"
 #include "sim/context.hpp"
 #include "ugni/ugni.hpp"
@@ -67,6 +68,11 @@ struct MpiStats {
   std::uint64_t sends_e1 = 0;
   std::uint64_t sends_rndv = 0;
   std::uint64_t unexpected = 0;
+  // Fault-recovery accounting (see fault::RetryPolicy).
+  std::uint64_t smsg_retries = 0;
+  std::uint64_t reg_retries = 0;
+  std::uint64_t cq_overruns_recovered = 0;
+  std::uint64_t escalations = 0;
 };
 
 class MpiComm {
@@ -137,6 +143,10 @@ class MpiComm {
   const MpiStats& stats() const { return stats_; }
   const UdregStats& udreg_stats() const { return udreg_; }
 
+  /// Policy governing retry/backoff on transient uGNI failures (defaults
+  /// are sane; layers pass the machine-wide policy through).
+  void set_retry_policy(const fault::RetryPolicy& p) { retry_ = p; }
+
  private:
   struct RankState;
 
@@ -174,6 +184,10 @@ class MpiComm {
                                       const void* addr, std::uint32_t len);
 
   void ensure_bounce_pool(RankState& s);
+  /// GNI_MemRegister with backoff on transient GNI_RC_ERROR_RESOURCE.
+  void register_with_retry(sim::Context& ctx, RankState& s,
+                           std::uint64_t addr, std::uint64_t len,
+                           ugni::gni_mem_handle_t* hndl_out);
   ugni::gni_ep_handle_t ensure_channel(sim::Context& ctx, RankState& src,
                                        int dest);
   void smsg_send_ctrl(sim::Context& ctx, RankState& s, int dest,
@@ -190,6 +204,7 @@ class MpiComm {
   std::vector<std::unique_ptr<RankState>> ranks_state_;
   MpiStats stats_;
   UdregStats udreg_;
+  fault::RetryPolicy retry_{};
   std::uint64_t next_req_id_ = 1;
 };
 

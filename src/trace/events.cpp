@@ -46,6 +46,14 @@ const char* event_name(Ev type) {
       return "credit_stall";
     case Ev::kMsgExec:
       return "msg_exec";
+    case Ev::kFaultInject:
+      return "fault_inject";
+    case Ev::kRetryBackoff:
+      return "retry_backoff";
+    case Ev::kFallback:
+      return "fallback";
+    case Ev::kCqRecover:
+      return "cq_recover";
   }
   return "unknown";
 }

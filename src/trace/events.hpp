@@ -47,8 +47,12 @@ enum class Ev : std::uint8_t {
   kPxshmDeq,        // intra-node shm dequeue at the receiver
   kCreditStall,     // SMSG send deferred on mailbox-credit exhaustion
   kMsgExec,         // scheduler executed a message handler
+  kFaultInject,     // the fault injector forced a transient failure
+  kRetryBackoff,    // a layer backed off (virtual time) before retrying
+  kFallback,        // degraded path taken (heap send, rendezvous demotion)
+  kCqRecover,       // CQ overrun recovered via GNI_CqErrorRecover
 };
-constexpr int kEvCount = static_cast<int>(Ev::kMsgExec) + 1;
+constexpr int kEvCount = static_cast<int>(Ev::kCqRecover) + 1;
 
 const char* event_name(Ev type);
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
+#include "fault/fault.hpp"
 #include "trace/events.hpp"
 #include "ugni/msgq.hpp"
+#include "util/log.hpp"
 
 namespace ugnirt::ugni {
 
@@ -20,7 +23,29 @@ sim::Context& ctx() {
   return *c;
 }
 
+fault::FaultInjector* injector(const Nic* nic) {
+  return nic->domain()->network().fault_injector();
+}
+
+void emit_fault(SimTime t, int peer, std::uint32_t size) {
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kFaultInject, t, 0, peer, size);
+  }
+}
+
 }  // namespace
+
+namespace detail {
+
+void check_fail(gni_return_t rc, const char* what) {
+  UGNIRT_ERROR("uGNI contract violation: " << what << " returned "
+                                           << gni_err_str(rc));
+  std::fprintf(stderr, "ugni::check: %s returned %s\n", what,
+               gni_err_str(rc));
+  std::abort();
+}
+
+}  // namespace detail
 
 const char* gni_err_str(gni_return_t rc) {
   switch (rc) {
@@ -53,10 +78,19 @@ const char* gni_err_str(gni_return_t rc) {
 // ---------------------------------------------------------------------------
 
 void Cq::push(SimTime at, gni_cq_entry_t entry) {
-  if (entries_.size() >= capacity_) {
-    // Real hardware sets an overrun bit and drops; runtimes must size CQs.
+  fault::FaultInjector* f = injector(nic_);
+  const bool forced = entries_.size() < capacity_ && f &&
+                      f->inject_cq_overrun(nic_->inst_id());
+  if (entries_.size() >= capacity_ || forced) {
+    // Real hardware sets an overrun bit and drops; runtimes must size CQs
+    // (or recover via GNI_CqErrorRecover).  Still fire the notify hook so
+    // a sleeping PE wakes up, observes ERROR_RESOURCE, and can recover.
     overrun_ = true;
     ++dropped_events_;
+    if (forced) emit_fault(at, entry.source_inst, 0);
+    if (notify_) {
+      nic_->domain()->engine().schedule_at(at, [this, at] { notify_(at); });
+    }
     return;
   }
   if (entries_.size() + 1 > max_depth_) max_depth_ = entries_.size() + 1;
@@ -190,6 +224,105 @@ gni_return_t GNI_CqGetEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out) {
   return GNI_RC_SUCCESS;
 }
 
+gni_return_t GNI_CqErrorRecover(gni_cq_handle_t cq,
+                                std::uint32_t* recovered_out) {
+  if (!cq) return GNI_RC_INVALID_PARAM;
+  if (recovered_out) *recovered_out = 0;
+  if (!cq->overrun_) return GNI_RC_SUCCESS;
+  sim::Context& c = ctx();
+  Nic* nic = cq->nic_;
+  const auto& mc = nic->domain()->config();
+  // The driver walks the CQ memory to find the write pointer and rebuilds
+  // its view; model that as a poll plus one event cost per queued entry.
+  c.charge(mc.cq_poll_ns +
+           static_cast<SimTime>(cq->entries_.size()) * mc.cq_event_ns);
+  cq->overrun_ = false;
+
+  std::uint32_t recovered = 0;
+  auto push_direct = [&](SimTime at, const gni_cq_entry_t& entry) {
+    // Insert bypassing Cq::push: recovery must not itself be dropped (the
+    // queue has been drained by the owner before recovering) and must not
+    // re-roll the fault injector.
+    auto it = cq->entries_.end();
+    while (it != cq->entries_.begin() && std::prev(it)->at > at) --it;
+    cq->entries_.insert(it, Cq::Timed{at, entry});
+    if (cq->entries_.size() > cq->max_depth_) {
+      cq->max_depth_ = cq->entries_.size();
+    }
+    ++recovered;
+  };
+
+  // Dropped SMSG arrival events: every undelivered mailbox message must
+  // have exactly one kSmsg event queued; re-synthesize the missing ones.
+  // Peers are visited in sorted order — unordered_map iteration order is
+  // not deterministic across runs and would break trace reproducibility.
+  if (nic->smsg_rx_cq_ == cq) {
+    std::vector<std::int32_t> peers;
+    peers.reserve(nic->peer_eps_.size());
+    for (const auto& [peer, ep] : nic->peer_eps_) peers.push_back(peer);
+    std::sort(peers.begin(), peers.end());
+    for (std::int32_t peer : peers) {
+      Ep* ep = nic->peer_eps_.at(peer);
+      std::size_t queued = 0;
+      for (const auto& te : cq->entries_) {
+        if (te.entry.type == CqEventType::kSmsg &&
+            te.entry.source_inst == peer) {
+          ++queued;
+        }
+      }
+      for (const auto& msg : ep->smsg_.rx) {
+        if (msg.delivered) continue;
+        if (queued > 0) {
+          --queued;  // this message still has its original event
+          continue;
+        }
+        gni_cq_entry_t entry;
+        entry.type = CqEventType::kSmsg;
+        entry.data = 0;
+        entry.source_inst = peer;
+        push_direct(std::max(msg.at, c.now()), entry);
+      }
+    }
+  }
+
+  // Dropped local-completion events: any descriptor still sitting in the
+  // NIC's completed table without a queued kPostLocal event lost its
+  // notification.  (GNI_GetCompleted removes claimed descriptors, so a
+  // consumed event can never be duplicated here.)  kPostRemote events are
+  // not recoverable — nothing on the receiving NIC records them.
+  bool serves_tx = false;
+  for (const auto& [peer, ep] : nic->peer_eps_) {
+    if (ep->tx_cq_ == cq) {
+      serves_tx = true;
+      break;
+    }
+  }
+  if (serves_tx) {
+    for (const auto& [internal, desc] : nic->completed_) {
+      bool queued = false;
+      for (const auto& te : cq->entries_) {
+        if (te.entry.type == CqEventType::kPostLocal &&
+            te.entry.data == internal) {
+          queued = true;
+          break;
+        }
+      }
+      if (queued) continue;
+      gni_cq_entry_t entry;
+      entry.type = CqEventType::kPostLocal;
+      entry.data = internal;
+      entry.source_inst = nic->inst_id_;
+      push_direct(c.now(), entry);
+    }
+  }
+
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kCqRecover, c.now(), 0, /*peer=*/-1, recovered);
+  }
+  if (recovered_out) *recovered_out = recovered;
+  return GNI_RC_SUCCESS;
+}
+
 gni_return_t GNI_CqWaitEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out) {
   if (!cq || !event_out) return GNI_RC_INVALID_PARAM;
   sim::Context& c = ctx();
@@ -209,6 +342,16 @@ gni_return_t GNI_MemRegister(gni_nic_handle_t nic, std::uint64_t address,
   }
   sim::Context& c = ctx();
   const auto& mc = nic->domain()->config();
+  if (fault::FaultInjector* f = injector(nic);
+      f && f->inject_reg_error(nic->inst_id())) {
+    // MDD/TLB entries exhausted: the failed attempt still pays the setup
+    // trap into the driver, but no pages are pinned.
+    c.charge(mc.mem_reg_base_ns);
+    emit_fault(c.now(), -1,
+               static_cast<std::uint32_t>(
+                   std::min<std::uint64_t>(length, UINT32_MAX)));
+    return GNI_RC_ERROR_RESOURCE;
+  }
   const SimTime t0 = c.now();
   c.charge(mc.reg_cost(length));
   if (trace::enabled()) {
@@ -318,6 +461,19 @@ gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t ep, const void* header,
   }
 
   sim::Context& c = ctx();
+  if (fault::FaultInjector* f = injector(nic)) {
+    // A starvation window models the peer falling behind on releases: the
+    // channel behaves exactly like credit exhaustion (GNI_RC_NOT_DONE).
+    if (f->smsg_starved(nic->inst_id(), ep->remote_inst_, c.now())) {
+      return GNI_RC_NOT_DONE;
+    }
+    if (f->inject_smsg_error(nic->inst_id())) {
+      // SSID pool exhausted: the send trap burns CPU but nothing is sent.
+      c.charge(dom->config().smsg_cpu_send_ns);
+      emit_fault(c.now(), ep->remote_inst_, total);
+      return GNI_RC_ERROR_RESOURCE;
+    }
+  }
   --ep->smsg_.credits;
 
   gemini::TransferRequest req;
@@ -440,6 +596,16 @@ gni_return_t post_transaction(Ep* ep, gni_post_descriptor_t* desc,
   }
 
   sim::Context& c = ctx();
+  if (fault::FaultInjector* f = injector(nic);
+      f && f->inject_post_error(nic->inst_id())) {
+    // The adapter exhausted its link-level retries: the descriptor write
+    // is charged, the transaction is not.  The initiator must re-post.
+    c.charge(is_rdma ? dom->config().bte_desc_ns : dom->config().fma_desc_ns);
+    emit_fault(c.now(), ep->remote_inst(),
+               static_cast<std::uint32_t>(
+                   std::min<std::uint64_t>(desc->length, UINT32_MAX)));
+    return GNI_RC_TRANSACTION_ERROR;
+  }
   gemini::TransferRequest req;
   switch (desc->type) {
     case GNI_POST_FMA_PUT:

@@ -57,6 +57,43 @@ enum gni_return_t : int {
 
 const char* gni_err_str(gni_return_t rc);
 
+// Error contract.  Every emulated call documents the exact set of codes it
+// can return (see each declaration below).  Three of them are *transient*
+// and expected under resource pressure or injected faults — callers must
+// handle them with retry/backoff rather than asserting:
+//
+//   GNI_RC_NOT_DONE           nothing to do yet (empty CQ / mailbox) or the
+//                             SMSG channel is out of credits — retry later;
+//   GNI_RC_ERROR_RESOURCE     NIC resource exhausted (MDD/TLB entries on
+//                             MemRegister, SSID pool on SmsgSend) or a CQ
+//                             overran — recover (GNI_CqErrorRecover) or
+//                             back off and retry;
+//   GNI_RC_TRANSACTION_ERROR  the adapter gave up on a posted FMA/BTE
+//                             transaction (link-level retry exhaustion) —
+//                             re-post the descriptor.
+//
+// Everything else (INVALID_PARAM, SIZE_ERROR, PERMISSION_ERROR, ILLEGAL_OP,
+// INVALID_STATE, ALIGNMENT_ERROR) indicates a caller bug and is fatal.
+
+namespace detail {
+[[noreturn]] void check_fail(gni_return_t rc, const char* what);
+}  // namespace detail
+
+/// Contract-enforcement helper: returns `rc` when it is GNI_RC_SUCCESS or
+/// one of the explicitly `allowed` transient codes, aborts with a
+/// diagnostic otherwise.  Replaces open-coded `assert(rc == ...)` at call
+/// sites so the allowed set is visible (and auditable) at each call:
+///
+///   rc = ugni::check(GNI_SmsgSendWTag(...), "smsg send",
+///                    GNI_RC_NOT_DONE, GNI_RC_ERROR_RESOURCE);
+template <typename... Allowed>
+inline gni_return_t check(gni_return_t rc, const char* what,
+                          Allowed... allowed) {
+  const bool ok = rc == GNI_RC_SUCCESS || ((rc == allowed) || ...);
+  if (!ok) detail::check_fail(rc, what);
+  return rc;
+}
+
 // ---------------------------------------------------------------------------
 // Handles.
 // ---------------------------------------------------------------------------
@@ -146,15 +183,35 @@ struct gni_smsg_attr_t {
 
 /// GNI_CdmCreate+GNI_CdmAttach equivalent: create a NIC instance bound to a
 /// torus node within the domain.  `inst_id` must be unique in the domain.
+/// Returns: SUCCESS | INVALID_PARAM (null domain/out, bad node, duplicate
+/// inst_id).
 gni_return_t GNI_CdmAttach(Domain* domain, std::int32_t inst_id, int node,
                            gni_nic_handle_t* nic_out);
 
+/// Returns: SUCCESS | INVALID_PARAM (null nic/out, zero entry_count).
 gni_return_t GNI_CqCreate(gni_nic_handle_t nic, std::uint32_t entry_count,
                           gni_cq_handle_t* cq_out);
+/// Returns: SUCCESS | INVALID_PARAM (null cq).
 gni_return_t GNI_CqDestroy(gni_cq_handle_t cq);
 
 /// Poll a CQ.  Charges cq_poll (plus cq_event when one is present).
+/// Returns: SUCCESS | INVALID_PARAM (null args) | ERROR_RESOURCE (the CQ
+/// overran: at least one event was dropped; run GNI_CqErrorRecover) |
+/// NOT_DONE (no event has arrived yet).
 gni_return_t GNI_CqGetEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out);
+
+/// Recover a CQ from overrun state, mirroring the real
+/// GNI_CqErrorRecovery: clears the overrun latch and re-synthesizes the
+/// events that were dropped from NIC-side state that survives the drop —
+/// SMSG arrival events from undelivered mailbox messages and local-post
+/// completions from the NIC's completed-descriptor table.  kPostRemote
+/// events are not recoverable (the real hardware loses them too; runtimes
+/// must not depend on remote events for correctness).  `recovered_out`
+/// (optional) receives the number of re-synthesized events.
+/// Returns: SUCCESS (including when the CQ was not overrun) |
+/// INVALID_PARAM (null cq).
+gni_return_t GNI_CqErrorRecover(gni_cq_handle_t cq,
+                                std::uint32_t* recovered_out);
 
 /// Blocking poll: if an event is in flight toward this CQ, spin (advance
 /// the caller's virtual clock) until it arrives and return it; if the CQ
@@ -162,26 +219,41 @@ gni_return_t GNI_CqGetEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out);
 /// cannot block on traffic that was never issued).  Mirrors the real
 /// GNI_CqWaitEvent; used by the ping-pong style drivers behind the
 /// paper's "pure uGNI" benchmarks.
+/// Returns: SUCCESS | INVALID_PARAM | ERROR_RESOURCE (overrun; run
+/// GNI_CqErrorRecover) | NOT_DONE (no event pending or in flight).
 gni_return_t GNI_CqWaitEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out);
 
+/// Returns: SUCCESS | INVALID_PARAM (null nic/out, zero length) |
+/// ERROR_RESOURCE (NIC MDD/TLB entries exhausted — transient; back off and
+/// retry, or fall back to an already-registered bounce buffer).
 gni_return_t GNI_MemRegister(gni_nic_handle_t nic, std::uint64_t address,
                              std::uint64_t length, gni_cq_handle_t dst_cq,
                              std::uint32_t flags, gni_mem_handle_t* hndl_out);
+/// Returns: SUCCESS | INVALID_PARAM (null/stale/foreign handle).
 gni_return_t GNI_MemDeregister(gni_nic_handle_t nic, gni_mem_handle_t* hndl);
 
+/// Returns: SUCCESS | INVALID_PARAM (null nic/out).
 gni_return_t GNI_EpCreate(gni_nic_handle_t nic, gni_cq_handle_t tx_cq,
                           gni_ep_handle_t* ep_out);
+/// Returns: SUCCESS | INVALID_PARAM (null ep, negative inst) |
+/// INVALID_STATE (already bound).
 gni_return_t GNI_EpBind(gni_ep_handle_t ep, std::int32_t remote_inst_id);
+/// Returns: SUCCESS | INVALID_PARAM (null ep).
 gni_return_t GNI_EpDestroy(gni_ep_handle_t ep);
 
 /// Set up the SMSG channel on this endpoint (both sides must agree; the
 /// emulation validates that attrs match when traffic first flows).
+/// Returns: SUCCESS | INVALID_PARAM (null/unbound ep, zero-credit attrs) |
+/// INVALID_STATE (already initialized).
 gni_return_t GNI_SmsgInit(gni_ep_handle_t ep, const gni_smsg_attr_t& local,
                           const gni_smsg_attr_t& remote);
 
-/// Send header+payload as one short message with a tag.  Fails with
-/// GNI_RC_NOT_DONE when the channel is out of credits and with
-/// GNI_RC_SIZE_ERROR when hdr+data exceeds msg_maxsize.
+/// Send header+payload as one short message with a tag.
+/// Returns: SUCCESS | INVALID_PARAM (null/unbound ep, missing peer) |
+/// INVALID_STATE (channel not SmsgInit'ed) | SIZE_ERROR (hdr+data exceeds
+/// msg_maxsize) | NOT_DONE (out of mailbox credits — transient; retry
+/// after the peer releases, or demote to rendezvous) | ERROR_RESOURCE
+/// (SSID pool exhausted — transient; back off and retry).
 gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t ep, const void* header,
                               std::uint32_t header_length, const void* data,
                               std::uint32_t data_length, std::uint32_t msg_id,
@@ -189,17 +261,28 @@ gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t ep, const void* header,
 
 /// Peek the next undelivered message on this endpoint's receive mailbox.
 /// Returns a pointer into mailbox memory (valid until GNI_SmsgRelease).
+/// Returns: SUCCESS | INVALID_PARAM | INVALID_STATE (channel not
+/// initialized) | NOT_DONE (no message has arrived yet).
 gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t ep, void** data_out,
                                  std::uint8_t* tag_out);
 
 /// Release the mailbox slot of the last message returned by GetNextWTag,
 /// returning a credit to the sender.
+/// Returns: SUCCESS | INVALID_PARAM | INVALID_STATE (nothing delivered).
 gni_return_t GNI_SmsgRelease(gni_ep_handle_t ep);
 
+/// Post a CPU-driven (FMA) / DMA-offloaded (BTE) one-sided transaction.
+/// Returns: SUCCESS | INVALID_PARAM (null/unbound ep, null desc, missing
+/// peer) | PERMISSION_ERROR (local or remote memory handle invalid, stale,
+/// or not covering [addr, addr+length)) | TRANSACTION_ERROR (the adapter
+/// gave up on the transaction — transient; re-post the descriptor).
 gni_return_t GNI_PostFma(gni_ep_handle_t ep, gni_post_descriptor_t* desc);
+/// Same contract as GNI_PostFma.
 gni_return_t GNI_PostRdma(gni_ep_handle_t ep, gni_post_descriptor_t* desc);
 
 /// Retrieve the descriptor whose completion `event` (kPostLocal) reported.
+/// Returns: SUCCESS | INVALID_PARAM (null args, wrong event type, unknown
+/// post id).
 gni_return_t GNI_GetCompleted(gni_cq_handle_t cq, const gni_cq_entry_t& event,
                               gni_post_descriptor_t** desc_out);
 
@@ -219,6 +302,7 @@ gni_return_t post_transaction(Ep* ep, gni_post_descriptor_t* desc,
                                    gni_cq_handle_t*);                        \
   friend gni_return_t GNI_CqGetEvent(gni_cq_handle_t, gni_cq_entry_t*);      \
   friend gni_return_t GNI_CqWaitEvent(gni_cq_handle_t, gni_cq_entry_t*);     \
+  friend gni_return_t GNI_CqErrorRecover(gni_cq_handle_t, std::uint32_t*);   \
   friend gni_return_t GNI_MemRegister(gni_nic_handle_t, std::uint64_t,       \
                                       std::uint64_t, gni_cq_handle_t,        \
                                       std::uint32_t, gni_mem_handle_t*);     \

@@ -15,17 +15,16 @@ using converse::LayerKind;
 using converse::MachineOptions;
 using lrts::make_machine;
 
-MachineOptions opts(int pes, LayerKind layer = LayerKind::kUgni) {
+MachineOptions opts(int pes) {
   MachineOptions o;
   o.pes = pes;
-  o.layer = layer;
   return o;
 }
 
 // ------------------------------------------------------------ reductions ----
 
 TEST(CharmReduction, SumsAcrossAllPes) {
-  auto m = make_machine(opts(13));
+  auto m = make_machine(LayerKind::kUgni, opts(13));
   Charm charm(*m);
   std::uint64_t result = 0;
   int red = charm.register_reduction_sum([&](std::uint64_t v) { result = v; });
@@ -39,7 +38,7 @@ TEST(CharmReduction, SumsAcrossAllPes) {
 }
 
 TEST(CharmReduction, DoubleSum) {
-  auto m = make_machine(opts(7));
+  auto m = make_machine(LayerKind::kUgni, opts(7));
   Charm charm(*m);
   double result = 0;
   int red = charm.register_reduction_sum_d([&](double v) { result = v; });
@@ -51,7 +50,7 @@ TEST(CharmReduction, DoubleSum) {
 }
 
 TEST(CharmReduction, MaxReduction) {
-  auto m = make_machine(opts(9));
+  auto m = make_machine(LayerKind::kUgni, opts(9));
   Charm charm(*m);
   std::uint64_t result = 0;
   int red = charm.register_reduction_max([&](std::uint64_t v) { result = v; });
@@ -65,7 +64,7 @@ TEST(CharmReduction, MaxReduction) {
 }
 
 TEST(CharmReduction, MultipleRoundsStaySeparated) {
-  auto m = make_machine(opts(5));
+  auto m = make_machine(LayerKind::kUgni, opts(5));
   Charm charm(*m);
   std::vector<std::uint64_t> results;
   int red = charm.register_reduction_sum(
@@ -85,7 +84,7 @@ TEST(CharmReduction, MultipleRoundsStaySeparated) {
 // ------------------------------------------------------------------- QD ----
 
 TEST(CharmQd, FiresForImmediateQuiet) {
-  auto m = make_machine(opts(6));
+  auto m = make_machine(LayerKind::kUgni, opts(6));
   Charm charm(*m);
   bool fired = false;
   m->start(0, [&] { charm.start_quiescence([&] { fired = true; }); });
@@ -95,7 +94,7 @@ TEST(CharmQd, FiresForImmediateQuiet) {
 
 TEST(CharmQd, WaitsForOutstandingWork) {
   // A chain of 50 hops must fully complete before QD fires.
-  auto m = make_machine(opts(8));
+  auto m = make_machine(LayerKind::kUgni, opts(8));
   Charm charm(*m);
   int hops_done = 0;
   bool fired = false;
@@ -124,7 +123,7 @@ TEST(CharmQd, WaitsForOutstandingWork) {
 }
 
 TEST(CharmQd, WorksOnMpiLayerToo) {
-  auto m = make_machine(opts(4, LayerKind::kMpi));
+  auto m = make_machine(LayerKind::kMpi, opts(4));
   Charm charm(*m);
   int done = 0;
   bool fired = false;
@@ -143,7 +142,7 @@ TEST(CharmQd, WorksOnMpiLayerToo) {
 // ------------------------------------------------------------ seed tasks ----
 
 TEST(CharmSeeds, RandomSeedingSpreadsAcrossPes) {
-  auto m = make_machine(opts(16));
+  auto m = make_machine(LayerKind::kUgni, opts(16));
   Charm charm(*m);
   std::vector<int> per_pe(16, 0);
   int task = charm.register_task([&](const void*, std::uint32_t) {
@@ -163,7 +162,7 @@ TEST(CharmSeeds, RandomSeedingSpreadsAcrossPes) {
 }
 
 TEST(CharmSeeds, PayloadTravelsIntact) {
-  auto m = make_machine(opts(4));
+  auto m = make_machine(LayerKind::kUgni, opts(4));
   Charm charm(*m);
   struct Payload {
     int a;
@@ -209,7 +208,7 @@ struct EchoElem final : ArrayElement {
 };
 
 TEST(CharmArray, InvokeRoutesToElements) {
-  auto m = make_machine(opts(4));
+  auto m = make_machine(LayerKind::kUgni, opts(4));
   Charm charm(*m);
   ArrayManager arr(charm, 10, [](int) { return std::make_unique<EchoElem>(); });
   m->start(0, [&] {
@@ -229,7 +228,7 @@ TEST(CharmArray, InvokeRoutesToElements) {
 }
 
 TEST(CharmArray, BlockPlacementCoversAllPes) {
-  auto m = make_machine(opts(4));
+  auto m = make_machine(LayerKind::kUgni, opts(4));
   Charm charm(*m);
   ArrayManager arr(charm, 16, [](int) { return std::make_unique<EchoElem>(); });
   std::vector<int> count(4, 0);
@@ -238,7 +237,7 @@ TEST(CharmArray, BlockPlacementCoversAllPes) {
 }
 
 TEST(CharmArray, LoadMeasurementAndMigration) {
-  auto m = make_machine(opts(4));
+  auto m = make_machine(LayerKind::kUgni, opts(4));
   Charm charm(*m);
   ArrayManager arr(charm, 8, [](int idx) {
     auto e = std::make_unique<EchoElem>();

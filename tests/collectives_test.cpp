@@ -14,17 +14,16 @@ namespace {
 using converse::LayerKind;
 using converse::MachineOptions;
 
-MachineOptions opts(int pes, LayerKind layer = LayerKind::kUgni) {
+MachineOptions opts(int pes) {
   MachineOptions o;
   o.pes = pes;
-  o.layer = layer;
   return o;
 }
 
 class CollectivesBothLayers : public ::testing::TestWithParam<LayerKind> {};
 
 TEST_P(CollectivesBothLayers, BarrierReleasesEveryPeEveryRound) {
-  auto m = lrts::make_machine(opts(13, GetParam()));
+  auto m = lrts::make_machine(GetParam(), opts(13));
   Charm charm(*m);
   Collectives coll(charm);
 
@@ -47,7 +46,7 @@ TEST_P(CollectivesBothLayers, BarrierReleasesEveryPeEveryRound) {
 
 TEST_P(CollectivesBothLayers, BarrierSeparatesPhases) {
   // No PE may observe the release before every PE arrived.
-  auto m = lrts::make_machine(opts(9, GetParam()));
+  auto m = lrts::make_machine(GetParam(), opts(9));
   Charm charm(*m);
   Collectives coll(charm);
   std::vector<SimTime> arrive_at(9, 0), release_at(9, 0);
@@ -74,7 +73,7 @@ TEST_P(CollectivesBothLayers, BarrierSeparatesPhases) {
 }
 
 TEST_P(CollectivesBothLayers, GatherCollectsPerPeBlobs) {
-  auto m = lrts::make_machine(opts(7, GetParam()));
+  auto m = lrts::make_machine(GetParam(), opts(7));
   Charm charm(*m);
   Collectives coll(charm);
   bool done = false;
@@ -103,7 +102,7 @@ TEST_P(CollectivesBothLayers, GatherCollectsPerPeBlobs) {
 }
 
 TEST_P(CollectivesBothLayers, SectionMulticastHitsExactlyTheSection) {
-  auto m = lrts::make_machine(opts(16, GetParam()));
+  auto m = lrts::make_machine(GetParam(), opts(16));
   Charm charm(*m);
   Collectives coll(charm);
   std::vector<int> hits(16, 0);
@@ -124,7 +123,7 @@ TEST_P(CollectivesBothLayers, SectionMulticastHitsExactlyTheSection) {
 }
 
 TEST_P(CollectivesBothLayers, RepeatedMulticastsDeliverInOrderPerMember) {
-  auto m = lrts::make_machine(opts(8, GetParam()));
+  auto m = lrts::make_machine(GetParam(), opts(8));
   Charm charm(*m);
   Collectives coll(charm);
   std::vector<std::vector<int>> seen(8);
@@ -159,7 +158,7 @@ TEST(CollectivesSmp, AllCollectivesWorkInSmpMode) {
   MachineOptions o = opts(12);
   o.smp_mode = true;
   o.pes_per_node = 4;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
   Charm charm(*m);
   Collectives coll(charm);
   int released = 0, gathered = 0, mcast = 0;

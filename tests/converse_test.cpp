@@ -12,10 +12,9 @@ namespace {
 
 using lrts::make_machine;
 
-MachineOptions opts(int pes, LayerKind layer = LayerKind::kUgni) {
+MachineOptions opts(int pes) {
   MachineOptions o;
   o.pes = pes;
-  o.layer = layer;
   return o;
 }
 
@@ -45,9 +44,9 @@ TEST_P(ConverseBothLayers, PingPongDeliversIntactPayloads) {
   // Sweep sizes across every protocol regime: SMSG, FMA GET, BTE GET
   // (uGNI layer) / E0, E1, rendezvous (MPI layer).
   for (std::uint32_t payload : {8u, 512u, 2048u, 16384u, 262144u}) {
-    auto o = opts(2, GetParam());
+    auto o = opts(2);
     o.pes_per_node = 1;  // two nodes, inter-node traffic
-    auto m = make_machine(o);
+    auto m = make_machine(GetParam(), o);
     const std::uint32_t total = payload + kCmiHeaderBytes;
     int bounces = 0;
     int h = -1;
@@ -75,9 +74,9 @@ TEST_P(ConverseBothLayers, PingPongDeliversIntactPayloads) {
 }
 
 TEST_P(ConverseBothLayers, ManyToOneDeliversEverything) {
-  auto o = opts(9, GetParam());
+  auto o = opts(9);
   o.pes_per_node = 3;
-  auto m = make_machine(o);
+  auto m = make_machine(GetParam(), o);
   int received = 0;
   std::vector<bool> seen(9, false);
   int h = m->register_handler([&](void* msg) {
@@ -98,7 +97,7 @@ TEST_P(ConverseBothLayers, ManyToOneDeliversEverything) {
 }
 
 TEST_P(ConverseBothLayers, BroadcastReachesAllPes) {
-  auto m = make_machine(opts(23, GetParam()));
+  auto m = make_machine(GetParam(), opts(23));
   std::vector<int> hits(23, 0);
   int h = m->register_handler([&](void* msg) {
     hits[static_cast<std::size_t>(CmiMyPe())]++;
@@ -116,7 +115,7 @@ TEST_P(ConverseBothLayers, BroadcastReachesAllPes) {
 }
 
 TEST_P(ConverseBothLayers, SelfSendWorks) {
-  auto m = make_machine(opts(1, GetParam()));
+  auto m = make_machine(GetParam(), opts(1));
   int count = 0;
   int h = m->register_handler([&](void* msg) {
     ++count;
@@ -136,7 +135,7 @@ TEST_P(ConverseBothLayers, SelfSendWorks) {
 
 TEST_P(ConverseBothLayers, VirtualTimeAdvancesAndIsDeterministic) {
   auto run_once = [&] {
-    auto m = make_machine(opts(4, GetParam()));
+    auto m = make_machine(GetParam(), opts(4));
     SimTime end = 0;
     int h = -1;
     int hops = 0;
@@ -175,9 +174,9 @@ TEST(ConverseUgni, UgniBeatsMpiOnSmallMessageLatency) {
   // exchange warms up channel setup (mailbox registration), as real
   // ping-pong benchmarks do; we measure the steady-state legs.
   auto one_way = [](LayerKind layer) {
-    auto o = opts(2, layer);
+    auto o = opts(2);
     o.pes_per_node = 1;
-    auto m = make_machine(o);
+    auto m = make_machine(layer, o);
     constexpr int kIters = 10;
     int legs = 0;
     SimTime measure_start = 0, measure_end = 0;
@@ -213,10 +212,10 @@ TEST(ConverseUgni, UgniBeatsMpiOnSmallMessageLatency) {
 
 TEST(ConverseUgni, MempoolImprovesLargeMessageLatency) {
   auto round_trip = [](bool pool) {
-    auto o = opts(2, LayerKind::kUgni);
+    auto o = opts(2);
     o.pes_per_node = 1;
     o.use_mempool = pool;
-    auto m = make_machine(o);
+    auto m = make_machine(LayerKind::kUgni, o);
     const std::uint32_t total = kCmiHeaderBytes + 65536;
     int bounces = 0;
     int h = -1;
@@ -248,9 +247,9 @@ TEST(ConverseUgni, MempoolImprovesLargeMessageLatency) {
 
 TEST(ConverseUgni, PersistentMessagesBeatPlainRendezvous) {
   auto run = [](bool persistent) {
-    auto o = opts(2, LayerKind::kUgni);
+    auto o = opts(2);
     o.pes_per_node = 1;
-    auto m = make_machine(o);
+    auto m = make_machine(LayerKind::kUgni, o);
     const std::uint32_t total = kCmiHeaderBytes + 32768;
     int received = 0;
     PersistentHandle handle;
@@ -286,9 +285,9 @@ TEST(ConverseUgni, PersistentMessagesBeatPlainRendezvous) {
 
 TEST(ConverseUgni, PersistentLatencyLowerThanRendezvous) {
   auto one_way = [](bool persistent) {
-    auto o = opts(2, LayerKind::kUgni);
+    auto o = opts(2);
     o.pes_per_node = 1;
-    auto m = make_machine(o);
+    auto m = make_machine(LayerKind::kUgni, o);
     const std::uint32_t total = kCmiHeaderBytes + 65536;
     SimTime sent = 0, arrived = 0;
     int h = m->register_handler([&](void* msg) {
@@ -319,11 +318,11 @@ TEST(ConverseUgni, PersistentLatencyLowerThanRendezvous) {
 
 TEST(ConverseUgni, PxshmSingleCopyFasterThanDoubleCopyIntraNode) {
   auto one_way = [](bool single) {
-    auto o = opts(2, LayerKind::kUgni);
+    auto o = opts(2);
     o.pes_per_node = 2;  // same node
     o.use_pxshm = true;
     o.pxshm_single_copy = single;
-    auto m = make_machine(o);
+    auto m = make_machine(LayerKind::kUgni, o);
     const std::uint32_t total = kCmiHeaderBytes + 131072;
     SimTime sent = 0, arrived = 0;
     int h = m->register_handler([&](void* msg) {
@@ -348,9 +347,9 @@ TEST(ConverseUgni, PxshmSingleCopyFasterThanDoubleCopyIntraNode) {
 TEST(ConverseUgni, CreditBackpressureDeliversEverythingInOrder) {
   // Flood one destination with more small messages than mailbox credits;
   // the backlog path must kick in and preserve per-pair FIFO order.
-  auto o = opts(2, LayerKind::kUgni);
+  auto o = opts(2);
   o.pes_per_node = 1;
-  auto m = make_machine(o);
+  auto m = make_machine(LayerKind::kUgni, o);
   constexpr int kCount = 200;  // >> 8 credits
   std::vector<int> order;
   int h = m->register_handler([&](void* msg) {
@@ -376,7 +375,7 @@ TEST(ConverseUgni, CreditBackpressureDeliversEverythingInOrder) {
 }
 
 TEST(ConverseUgni, QdCountersBalanceAfterRun) {
-  auto m = make_machine(opts(8));
+  auto m = make_machine(LayerKind::kUgni, opts(8));
   int h = -1;
   h = m->register_handler([&](void* msg) {
     int ttl = *msg_payload<int>(msg);
@@ -407,19 +406,19 @@ TEST(ConverseUgni, QdCountersBalanceAfterRun) {
 }
 
 TEST(ConverseUgni, SmsgCapShrinksWithJobSizeInLayer) {
-  auto small = make_machine(opts(16));
+  auto small = make_machine(LayerKind::kUgni, opts(16));
   auto* l1 = dynamic_cast<lrts::UgniLayer*>(&small->layer());
   EXPECT_EQ(l1->smsg_cap(), 1024u);
-  auto big = make_machine(opts(2048));
+  auto big = make_machine(LayerKind::kUgni, opts(2048));
   auto* l2 = dynamic_cast<lrts::UgniLayer*>(&big->layer());
   EXPECT_EQ(l2->smsg_cap(), 512u);
 }
 
 TEST(ConverseUgni, IntranodeWithoutPxshmStillDelivers) {
-  auto o = opts(4, LayerKind::kUgni);
+  auto o = opts(4);
   o.pes_per_node = 4;
   o.use_pxshm = false;  // force NIC loopback ("original" Fig 8c curve)
-  auto m = make_machine(o);
+  auto m = make_machine(LayerKind::kUgni, o);
   int got = 0;
   int h = m->register_handler([&](void* msg) {
     EXPECT_TRUE(check_pattern(msg, header_of(msg)->size, 1));

@@ -33,9 +33,8 @@ TEST_P(ProtocolSweep, BytesSurviveEveryPath) {
   auto [layer, payload, ppn] = GetParam();
   MachineOptions o;
   o.pes = 4;
-  o.layer = layer;
   o.pes_per_node = ppn;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(layer, o);
 
   const std::uint32_t total = payload + kCmiHeaderBytes;
   int received = 0;
@@ -101,12 +100,11 @@ TEST_P(LayerFeatureMatrix, UgniOptimizationTogglesAllDeliver) {
   auto [pool, pxshm, single] = GetParam();
   MachineOptions o;
   o.pes = 6;
-  o.layer = LayerKind::kUgni;
   o.pes_per_node = 3;
   o.use_mempool = pool;
   o.use_pxshm = pxshm;
   o.pxshm_single_copy = single;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
   int got = 0;
   int h = m->register_handler([&](void* msg) {
     ++got;
@@ -137,8 +135,7 @@ TEST(Integration, LargeFanInDoesNotDropMessages) {
   // intra-node paths all active simultaneously.
   MachineOptions o;
   o.pes = 64;
-  o.layer = LayerKind::kUgni;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
   int got = 0;
   std::uint64_t byte_sum = 0;
   int h = m->register_handler([&](void* msg) {
@@ -167,9 +164,8 @@ TEST(Integration, WholeRunDeterminismAcrossProcessRestarts) {
   auto run = [](LayerKind layer) {
     MachineOptions o;
     o.pes = 24;
-    o.layer = layer;
-    o.seed = 777;
-    auto m = lrts::make_machine(o);
+      o.seed = 777;
+    auto m = lrts::make_machine(layer, o);
     charm::Charm charm(*m);
     std::uint64_t work_done = 0;
     int task = -1;
@@ -202,10 +198,9 @@ TEST(Integration, WholeRunDeterminismAcrossProcessRestarts) {
 TEST(Integration, MailboxAccountingGrowsWithActivePairs) {
   MachineOptions o;
   o.pes = 32;
-  o.layer = LayerKind::kUgni;
   o.use_pxshm = false;
   o.pes_per_node = 1;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
   auto* layer = dynamic_cast<lrts::UgniLayer*>(&m->layer());
   ASSERT_NE(layer, nullptr);
   EXPECT_EQ(layer->total_mailbox_bytes(), 0u);
@@ -239,7 +234,7 @@ TEST(Integration, EnvironmentOverridesReachTheMachineModel) {
 TEST(Integration, VirtualWallTimerAdvancesMonotonically) {
   MachineOptions o;
   o.pes = 2;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
   std::vector<double> stamps;
   int h = -1;
   h = m->register_handler([&](void* msg) {
@@ -267,7 +262,7 @@ TEST(Integration, VirtualWallTimerAdvancesMonotonically) {
 TEST(Integration, TreeHelpersFormAValidTree) {
   MachineOptions o;
   o.pes = 100;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
   std::vector<int> children;
   int counted = 0;
   for (int pe = 0; pe < 100; ++pe) {

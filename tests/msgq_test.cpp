@@ -147,11 +147,10 @@ TEST_F(MsgqFixture, SlowerThanSmsgPerMessage) {
 TEST(MsgqLayer, EndToEndDeliveryInMsgqMode) {
   converse::MachineOptions o;
   o.pes = 8;
-  o.layer = converse::LayerKind::kUgni;
   o.use_msgq = true;
   o.use_pxshm = false;
   o.pes_per_node = 1;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
   int got = 0;
   int h = m->register_handler([&](void* msg) {
     ++got;
@@ -178,7 +177,7 @@ TEST(MsgqLayer, NoMailboxMemoryCommitted) {
     o.use_msgq = msgq;
     o.use_pxshm = false;
     o.pes_per_node = 1;
-    auto m = lrts::make_machine(o);
+    auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
     int h = m->register_handler(
         [&](void* msg) { converse::CmiFree(msg); });
     m->start(0, [&, h] {
@@ -203,7 +202,7 @@ TEST(MsgqLayer, MsgqModeSlowerThanSmsgMode) {
     o.pes = 2;
     o.use_msgq = msgq;
     o.pes_per_node = 1;
-    auto m = lrts::make_machine(o);
+    auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
     int legs = 0;
     SimTime t0 = 0, t1 = 0;
     int h = -1;

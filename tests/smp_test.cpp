@@ -24,14 +24,13 @@ using converse::MachineOptions;
 MachineOptions smp_opts(int pes, int ppn) {
   MachineOptions o;
   o.pes = pes;
-  o.layer = LayerKind::kUgni;
   o.smp_mode = true;
   o.pes_per_node = ppn;
   return o;
 }
 
 TEST(SmpLayer, DeliversIntraAndInterNodeIntact) {
-  auto m = lrts::make_machine(smp_opts(8, 4));  // 2 nodes x 4 workers
+  auto m = lrts::make_machine(LayerKind::kUgni, smp_opts(8, 4));  // 2 nodes x 4 workers
   int got = 0;
   int h = m->register_handler([&](void* msg) {
     auto* bytes = static_cast<std::uint8_t*>(converse::payload_of(msg));
@@ -69,10 +68,9 @@ TEST(SmpLayer, IntraNodeLatencyBeatsPxshm) {
   auto one_way = [](bool smp) {
     MachineOptions o;
     o.pes = 2;
-    o.layer = LayerKind::kUgni;
     o.pes_per_node = 2;  // same node
     o.smp_mode = smp;
-    auto m = lrts::make_machine(o);
+    auto m = lrts::make_machine(LayerKind::kUgni, o);
     const std::uint32_t total = kCmiHeaderBytes + 262144;
     int legs = 0;
     SimTime t0 = 0, t1 = 0;
@@ -106,11 +104,10 @@ TEST(SmpLayer, MailboxMemoryPerNodePairNotPePair) {
   auto mailbox_bytes = [](bool smp) {
     MachineOptions o;
     o.pes = 24;
-    o.layer = LayerKind::kUgni;
     o.pes_per_node = 6;  // 4 nodes
     o.smp_mode = smp;
     o.use_pxshm = false;
-    auto m = lrts::make_machine(o);
+    auto m = lrts::make_machine(LayerKind::kUgni, o);
     int h = m->register_handler([&](void* msg) { CmiFree(msg); });
     // All-to-all small messages establish every channel that will exist.
     for (int pe = 0; pe < 24; ++pe) {
@@ -140,7 +137,7 @@ TEST(SmpLayer, MailboxMemoryPerNodePairNotPePair) {
 }
 
 TEST(SmpLayer, WorkerSendCostIsTinyCommThreadDoesTheWork) {
-  auto m = lrts::make_machine(smp_opts(4, 2));
+  auto m = lrts::make_machine(LayerKind::kUgni, smp_opts(4, 2));
   SimTime send_cost = 0;
   int h = m->register_handler([&](void* msg) { CmiFree(msg); });
   m->start(0, [&, h] {
@@ -159,7 +156,7 @@ TEST(SmpLayer, WorkerSendCostIsTinyCommThreadDoesTheWork) {
 }
 
 TEST(SmpLayer, ManyToOneAcrossNodesUnderLoad) {
-  auto m = lrts::make_machine(smp_opts(12, 3));  // 4 nodes
+  auto m = lrts::make_machine(LayerKind::kUgni, smp_opts(12, 3));  // 4 nodes
   int got = 0;
   std::uint64_t byte_sum = 0, sent = 0;
   int h = m->register_handler([&](void* msg) {
@@ -205,7 +202,7 @@ TEST(SmpLayer, NamdModelBenefitsFromSmpMode) {
 
 TEST(SmpLayer, DeterministicRuns) {
   auto run = [] {
-    auto m = lrts::make_machine(smp_opts(6, 3));
+    auto m = lrts::make_machine(LayerKind::kUgni, smp_opts(6, 3));
     int h = -1;
     int hops = 0;
     h = m->register_handler([&](void* msg) {

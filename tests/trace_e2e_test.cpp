@@ -37,8 +37,7 @@ void run_traffic() {
   MachineOptions o;
   o.pes = 4;
   o.pes_per_node = 2;  // two nodes; PE 0 <-> PE 3 is inter-node traffic
-  o.layer = LayerKind::kUgni;
-  auto m = lrts::make_machine(o);
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
   int bounces = 0;
   int h = m->register_handler([&](void* msg) {
     ++bounces;
