@@ -1,0 +1,111 @@
+// Aggregation (TRAM-lite) ablation: what coalescing buys fine-grained
+// traffic, and what it must NOT cost everyone else.
+//
+//   1. kNeighbor flood, 16–64 B messages: messages/second with the
+//      aggregation layer off vs on (the headline ≥2x for ≤64 B).
+//   2. NQueens (88 B task messages, random seed balancing): end-to-end
+//      virtual time off vs on.
+//   3. Guard rail: fig09a-style large-message ping-pong latency must be
+//      identical with aggregation enabled — messages at or above
+//      agg.threshold bypass the aggregator entirely.
+#include <cstdio>
+
+#include "apps/microbench/microbench.hpp"
+#include "apps/nqueens/parallel.hpp"
+#include "bench_util.hpp"
+
+using namespace ugnirt;
+using namespace ugnirt::apps;
+
+namespace {
+
+converse::MachineOptions flood_options(bool aggregate) {
+  converse::MachineOptions o;
+  o.layer = converse::LayerKind::kUgni;
+  o.pes = 8;
+  o.pes_per_node = 1;  // every pair crosses the network: pure SMSG regime
+  o.aggregation.enable = aggregate;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Small-message throughput.
+  benchtool::Table flood("ablation_aggregation_flood", "msg_bytes");
+  flood.add_column("off_msgs_per_s");
+  flood.add_column("on_msgs_per_s");
+  flood.add_column("speedup");
+  for (std::uint32_t size : {16u, 32u, 64u}) {
+    auto off = bench::charm_kneighbor_flood(flood_options(false), size,
+                                            /*k=*/2, /*burst=*/64,
+                                            /*rounds=*/20);
+    auto on = bench::charm_kneighbor_flood(flood_options(true), size,
+                                           /*k=*/2, /*burst=*/64,
+                                           /*rounds=*/20);
+    flood.add_row(benchtool::size_label(size),
+                  {off.msgs_per_sec, on.msgs_per_sec,
+                   on.msgs_per_sec / off.msgs_per_sec});
+  }
+  flood.print();
+
+  // 2. NQueens: the paper's "many 88-byte messages" workload.
+  benchtool::Table nq("ablation_aggregation_nqueens", "pes");
+  nq.add_column("off_ms");
+  nq.add_column("on_ms");
+  nq.add_column("speedup");
+  for (int pes : {8, 16}) {
+    nqueens::NQueensConfig cfg;
+    cfg.n = 12;
+    cfg.threshold = 4;
+    converse::MachineOptions o;
+    o.layer = converse::LayerKind::kUgni;
+    o.pes = pes;
+    o.pes_per_node = 1;
+    auto off = nqueens::run_nqueens(o, cfg);
+    o.aggregation.enable = true;
+    auto on = nqueens::run_nqueens(o, cfg);
+    if (off.solutions != on.solutions) {
+      std::printf("FAIL: aggregation changed NQueens solution count\n");
+      return 1;
+    }
+    nq.add_row(std::to_string(pes),
+               {to_ms(off.elapsed), to_ms(on.elapsed),
+                static_cast<double>(off.elapsed) /
+                    static_cast<double>(on.elapsed)});
+  }
+  nq.print();
+
+  // 3. Large messages must not regress: >= threshold bypasses byte-for-
+  // byte, so latency with aggregation enabled is exactly the off curve.
+  benchtool::Table big("ablation_aggregation_latency_guard", "msg_bytes");
+  big.add_column("off_us");
+  big.add_column("on_us");
+  bool guard_ok = true;
+  for (std::uint32_t size : {4096u, 65536u, 1048576u}) {
+    bench::PingPongOptions pp;
+    pp.payload = size;
+    auto run_lat = [&](bool aggregate) {
+      converse::MachineOptions o;
+      o.layer = converse::LayerKind::kUgni;
+      o.pes = 2;
+      o.pes_per_node = 1;
+      o.aggregation.enable = aggregate;
+      return bench::charm_pingpong(o, pp);
+    };
+    SimTime off = run_lat(false);
+    SimTime on = run_lat(true);
+    guard_ok = guard_ok && off == on;
+    big.add_row(benchtool::size_label(size), {to_us(off), to_us(on)});
+  }
+  big.print();
+  std::printf("Large-message latency guard: %s\n",
+              guard_ok ? "unchanged (exact match)" : "FAIL: drift detected");
+
+  std::printf(
+      "\nShape: coalescing many sub-128B messages into one SMSG amortizes\n"
+      "the per-transaction mailbox/CQ/scheduler cost, multiplying small-\n"
+      "message throughput, while >= agg.threshold traffic bypasses the\n"
+      "aggregator and is byte-for-byte unaffected.\n");
+  return guard_ok ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// The aggregation batch frame — the one wire format every transport shares.
+//
+// A *batch* is a single Converse message (flag kMsgFlagAggBatch) whose
+// payload carries many coalesced small messages.  Because the batch is an
+// ordinary message, it rides whatever single-transaction path the active
+// machine layer picks for its size — an SMSG mailbox write on the uGNI
+// layer, a pxshm queue slot intra-node, one comm-thread SMSG in SMP mode,
+// one eager mpilite send on the MPI layer — and the receive side unpacks
+// it back into individual messages before they reach any handler.  One
+// pack/unpack implementation lives here so the three layers cannot drift
+// apart (this header is public API; the layout is versioned).
+//
+// Layout, starting at the batch message's payload (after its CmiMsgHeader):
+//
+//     +--------------------------------------------------+
+//     | FrameHeader  { magic:u32, version:u16, count:u16 }|  8 bytes
+//     +--------------------------------------------------+
+//     | SubMsgHeader { len:u32 }                          |  per record,
+//     | sub-message bytes  (len bytes, starts with its    |  padded to
+//     |                     own CmiMsgHeader envelope)    |  8-byte
+//     | padding to the next 8-byte boundary               |  alignment
+//     +--------------------------------------------------+
+//     | ... count records total ...                       |
+//     +--------------------------------------------------+
+//
+// Every sub-message is a complete Converse message (envelope + payload);
+// its handler index, source PE and flags travel inside it untouched, so
+// unpack is handler-transparent: delivery semantics are identical to the
+// un-aggregated path, in the same per-record order they were packed.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "converse/message.hpp"
+
+namespace ugnirt::aggregation {
+
+/// "AGFR" — present at the start of every batch payload.
+constexpr std::uint32_t kFrameMagic = 0x41474652u;
+/// Bumped on any layout change; unpack rejects versions it does not know.
+constexpr std::uint16_t kFrameVersion = 1;
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint16_t version = kFrameVersion;
+  std::uint16_t count = 0;  // number of sub-message records
+};
+
+struct SubMsgHeader {
+  std::uint32_t len = 0;  // sub-message bytes (envelope included), unpadded
+};
+
+static_assert(sizeof(FrameHeader) == 8, "frame header layout is wire ABI");
+static_assert(sizeof(SubMsgHeader) == 4, "record header layout is wire ABI");
+static_assert(alignof(FrameHeader) <= 8 && alignof(SubMsgHeader) <= 8,
+              "records are packed on 8-byte boundaries");
+
+/// Records are padded so each record starts 8-byte aligned; the envelope
+/// inside begins sizeof(SubMsgHeader) = 4 bytes in, which still satisfies
+/// alignof(CmiMsgHeader) — readers (including the in-place batch delivery
+/// path) may inspect and mutate a sub-message's CmiMsgHeader in place.
+constexpr std::uint32_t kRecordAlign = 8;
+
+static_assert(alignof(converse::CmiMsgHeader) <= 4,
+              "in-place sub-message envelope access relies on 4-byte "
+              "alignment after the record header");
+
+constexpr std::uint32_t padded(std::uint32_t n) {
+  return (n + (kRecordAlign - 1)) & ~(kRecordAlign - 1);
+}
+
+/// Frame bytes consumed by one record carrying a `len`-byte sub-message.
+constexpr std::uint32_t record_bytes(std::uint32_t len) {
+  return padded(static_cast<std::uint32_t>(sizeof(SubMsgHeader)) + len);
+}
+
+/// Packs sub-messages into a caller-provided buffer.  The writer never
+/// allocates: append() fails (returns false) when the record would not
+/// fit, and the caller flushes and starts a new frame.
+class FrameWriter {
+ public:
+  FrameWriter(void* buf, std::uint32_t capacity)
+      : base_(static_cast<std::uint8_t*>(buf)), capacity_(capacity) {
+    FrameHeader h;
+    std::memcpy(base_, &h, sizeof(h));
+    used_ = sizeof(FrameHeader);
+  }
+
+  /// True when a `len`-byte sub-message would still fit.
+  bool fits(std::uint32_t len) const {
+    return used_ + record_bytes(len) <= capacity_;
+  }
+
+  bool append(const void* msg, std::uint32_t len) {
+    if (!fits(len) || count_ == UINT16_MAX) return false;
+    SubMsgHeader sh{len};
+    std::memcpy(base_ + used_, &sh, sizeof(sh));
+    std::memcpy(base_ + used_ + sizeof(sh), msg, len);
+    const std::uint32_t rec = record_bytes(len);
+    // Zero the alignment tail so frames are bit-deterministic.
+    std::memset(base_ + used_ + sizeof(sh) + len, 0,
+                rec - sizeof(sh) - len);
+    used_ += rec;
+    ++count_;
+    FrameHeader h;
+    h.count = count_;
+    std::memcpy(base_, &h, sizeof(h));
+    return true;
+  }
+
+  std::uint16_t count() const { return count_; }
+  /// Frame bytes written so far (header included).
+  std::uint32_t bytes() const { return used_; }
+
+ private:
+  std::uint8_t* base_;
+  std::uint32_t capacity_;
+  std::uint32_t used_ = 0;
+  std::uint16_t count_ = 0;
+};
+
+/// Walks a frame, invoking `fn(sub_msg_ptr, len)` for each record in pack
+/// order.  Returns false (possibly after some deliveries) on a malformed
+/// frame: bad magic, unknown version, or a record overrunning `frame_len`.
+template <typename Fn>
+bool for_each_submessage(const void* frame, std::uint32_t frame_len, Fn&& fn) {
+  const auto* p = static_cast<const std::uint8_t*>(frame);
+  if (frame_len < sizeof(FrameHeader)) return false;
+  FrameHeader h;
+  std::memcpy(&h, p, sizeof(h));
+  if (h.magic != kFrameMagic || h.version != kFrameVersion) return false;
+  std::uint32_t off = sizeof(FrameHeader);
+  for (std::uint16_t i = 0; i < h.count; ++i) {
+    if (off + sizeof(SubMsgHeader) > frame_len) return false;
+    SubMsgHeader sh;
+    std::memcpy(&sh, p + off, sizeof(sh));
+    if (sh.len < converse::kCmiHeaderBytes ||
+        off + record_bytes(sh.len) > frame_len) {
+      return false;
+    }
+    fn(p + off + sizeof(SubMsgHeader), sh.len);
+    off += record_bytes(sh.len);
+  }
+  return true;
+}
+
+}  // namespace ugnirt::aggregation

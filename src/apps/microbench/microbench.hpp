@@ -75,4 +75,22 @@ SimTime charm_onetoall(converse::MachineOptions options, std::uint32_t bytes,
 SimTime charm_kneighbor(converse::MachineOptions options, std::uint32_t bytes,
                         int k = 1, int iters = 10);
 
+// ---- kNeighbor flood (small-message throughput / aggregation ablation) ----
+
+struct KNeighborFloodResult {
+  std::uint64_t messages = 0;  // payload messages delivered (asserted exact)
+  SimTime elapsed_ns = 0;      // virtual time to drain everything
+  double msgs_per_sec = 0;     // messages / elapsed
+};
+
+/// Throughput variant of kNeighbor for the fine-grained regime the
+/// aggregation layer targets: every PE fires `burst` size-`bytes` messages
+/// round-robin at its 2k ring neighbors per round, re-priming itself with
+/// a self-message for `rounds` rounds (no per-message acks — the metric is
+/// messages per second, not latency).  Asserts exactly
+/// pes * burst * rounds deliveries, so it doubles as a loss check.
+KNeighborFloodResult charm_kneighbor_flood(converse::MachineOptions options,
+                                           std::uint32_t bytes, int k = 2,
+                                           int burst = 64, int rounds = 20);
+
 }  // namespace ugnirt::apps::bench

@@ -160,6 +160,10 @@ int Charm::expected_contributions(int pe) const {
 
 void Charm::contribute(int red_id, std::uint64_t value) {
   int pe = CmiMyPe();
+  // A contribution is a sync point: ship any coalesced stragglers now so
+  // an aggregation buffer never gates the dependency chain behind the
+  // reduction (no-op when aggregation is off).
+  machine_->flush_aggregation();
   Reduction& r = reductions_[static_cast<std::size_t>(red_id)];
   std::uint64_t round = r.next_round[static_cast<std::size_t>(pe)]++;
   reduction_arrive(red_id, pe, round, value, 0.0);
@@ -167,6 +171,7 @@ void Charm::contribute(int red_id, std::uint64_t value) {
 
 void Charm::contribute_d(int red_id, double value) {
   int pe = CmiMyPe();
+  machine_->flush_aggregation();
   Reduction& r = reductions_[static_cast<std::size_t>(red_id)];
   std::uint64_t round = r.next_round[static_cast<std::size_t>(pe)]++;
   reduction_arrive(red_id, pe, round, 0, value);

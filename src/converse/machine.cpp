@@ -5,6 +5,8 @@
 #include <cstring>
 #include <ostream>
 
+#include "aggregation/aggregation.hpp"
+#include "aggregation/frame.hpp"
 #include "trace/events.hpp"
 #include "trace/session.hpp"
 #include "trace/tracer.hpp"
@@ -24,9 +26,8 @@ PersistentHandle MachineLayer::create_persistent(sim::Context&, Pe&, int,
   return PersistentHandle{};  // not supported by this layer
 }
 
-void MachineLayer::send_persistent(sim::Context&, Pe&, PersistentHandle,
-                                   std::uint32_t, void*) {
-  assert(false && "persistent sends need a layer that supports them");
+std::uint32_t MachineLayer::recommended_batch_bytes(Pe&, int) const {
+  return 0;  // conservative default: no batching unless the layer opts in
 }
 
 void MachineLayer::collect_metrics(trace::MetricsRegistry&) {}
@@ -95,6 +96,15 @@ void Pe::run_step(SimTime t) {
                     msg_src, msg_size);
       }
     }
+    if (m.aggregator_) {
+      // Ship buffers whose max-delay timer expired; when the PE has
+      // nothing else queued, holding messages back buys no batching —
+      // flush everything rather than make an idle PE's peers wait.
+      m.aggregator_->flush_expired(ctx_, *this);
+      if (sched_q_.empty() && m.options().aggregation.flush_on_idle) {
+        m.aggregator_->flush_all(ctx_, *this);
+      }
+    }
   }
   m.current_pe_ = prev_pe;
   ++m.stats_.steps;
@@ -116,6 +126,11 @@ void Pe::run_step(SimTime t) {
     // Backlogged sends with no local work: retry on a small backoff so a
     // full remote queue doesn't turn into a dense busy-wait of steps.
     wake(avail_at_ + 500);
+  } else if (m.aggregator_) {
+    // Keep the flush timer armed: an earlier wake may have replaced the
+    // deadline step, so re-ensure one while buffers are outstanding.
+    SimTime d = m.aggregator_->earliest_deadline(id_);
+    if (d != kNever) wake(std::max(avail_at_, d));
   }
   if (pending_wake_ != kNever) {
     SimTime w = pending_wake_;
@@ -151,6 +166,10 @@ Machine::Machine(MachineOptions options, std::unique_ptr<MachineLayer> layer)
     pe->avail_at_ = pe->ctx().now();
   }
   current_pe_ = nullptr;
+  if (options_.aggregation.enable) {
+    aggregator_ = std::make_unique<aggregation::Aggregator>(
+        *this, options_.aggregation);
+  }
 }
 
 Machine::~Machine() {
@@ -213,8 +232,7 @@ void Machine::free_msg(void* msg) {
   layer_->free_msg(pe.ctx(), pe, msg);
 }
 
-void Machine::send(int dest_pe, void* msg) {
-  assert(dest_pe >= 0 && dest_pe < options_.pes);
+void Machine::submit(int dest_pe, void* msg, const SendOptions& opts) {
   Pe& src = current_pe();
   CmiMsgHeader* h = header_of(msg);
   h->src_pe = src.id();
@@ -224,12 +242,65 @@ void Machine::send(int dest_pe, void* msg) {
   ++stats_.msgs_sent;
   stats_.bytes_sent += h->size;
   src.ctx().charge(options_.mc.charm_send_overhead_ns);
+
+  if (opts.persistent_handle.valid()) {
+    // Persistent channels bypass aggregation: the receiver's registered
+    // landing buffer expects exactly the message that was negotiated.
+    SendOptions o = opts;
+    o.allow_aggregation = false;
+    layer_->submit(src.ctx(), src, dest_pe, MsgView{msg, h->size}, o);
+    return;
+  }
+
+  assert(dest_pe >= 0 && dest_pe < options_.pes);
   if (dest_pe == src.id()) {
-    // Local short-circuit: straight into our own scheduler queue.
+    // Local short-circuit: straight into our own scheduler queue.  A
+    // runtime-owned buffer (an in-place batch sub-message being relayed
+    // by its handler) dies when the batch is freed, so it must be cloned
+    // before it can outlive the handler call.
+    if (h->flags & kMsgFlagNoFree) msg = clone_runtime_owned(src, msg);
     src.enqueue(msg, src.ctx().now());
     return;
   }
-  layer_->sync_send(src.ctx(), src, dest_pe, h->size, msg);
+  if (aggregator_) {
+    if (opts.allow_aggregation && h->size < options_.aggregation.threshold &&
+        aggregator_->enqueue(src.ctx(), src, dest_pe, msg)) {
+      // The aggregator copied the bytes into its frame synchronously, so
+      // even a runtime-owned (NoFree) buffer needed no clone here.
+      return;
+    }
+    // Bypass send (too big, == threshold, or opted out): flush anything
+    // already coalesced for this destination first so the bypass cannot
+    // overtake earlier traffic — per-(src,dest) FIFO holds either way.
+    aggregator_->flush_dest(src.ctx(), src, dest_pe);
+  }
+  // The layer takes ownership of non-persistent submissions and frees the
+  // buffer after transmission — a runtime-owned batch sub-message must be
+  // cloned so the layer never frees an interior pointer.
+  if (h->flags & kMsgFlagNoFree) msg = clone_runtime_owned(src, msg);
+  layer_->submit(src.ctx(), src, dest_pe, MsgView{msg, header_of(msg)->size},
+                 opts);
+}
+
+void* Machine::clone_runtime_owned(Pe& src, void* msg) {
+  CmiMsgHeader* h = header_of(msg);
+  void* copy = layer_->alloc(src.ctx(), src, h->size);
+  src.ctx().charge(options_.mc.memcpy_cost(h->size));
+  std::memcpy(copy, msg, h->size);
+  CmiMsgHeader* ch = header_of(copy);
+  ch->alloc_pe = src.id();
+  ch->flags &= static_cast<std::uint16_t>(~kMsgFlagNoFree);
+  return copy;
+}
+
+void Machine::send(int dest_pe, void* msg) {
+  submit(dest_pe, msg, SendOptions{});
+}
+
+void Machine::flush_aggregation() {
+  if (!aggregator_) return;
+  Pe& pe = current_pe();
+  aggregator_->flush_all(pe.ctx(), pe, aggregation::FlushReason::kBarrier);
 }
 
 void Machine::broadcast(void* msg) {
@@ -270,6 +341,43 @@ void Machine::forward_broadcast(Pe& pe, void* msg) {
 
 void Machine::dispatch(Pe& pe, void* msg) {
   CmiMsgHeader* h = header_of(msg);
+  if (h->flags & kMsgFlagAggBatch) {
+    // An aggregation batch: deliver every sub-message IN PLACE, inside
+    // this one scheduler step.  This is where the receive-side win comes
+    // from — the full recv overhead (and the scheduler loop that led
+    // here) is paid once per batch; each item costs only the small
+    // per-item dispatch overhead, with zero copies.  Sub-messages are
+    // flagged kMsgFlagNoFree: they live inside the batch buffer, are
+    // runtime-owned, and are valid only for the duration of their
+    // handler call (handlers that retain or relay them go through
+    // Machine::submit, which clones NoFree buffers).  Pack order ==
+    // arrival order, so per-(src,dest) FIFO delivery is preserved.
+    pe.ctx().charge(options_.mc.charm_recv_overhead_ns);
+    const bool ok = aggregation::for_each_submessage(
+        payload_of(msg),
+        h->size - static_cast<std::uint32_t>(kCmiHeaderBytes),
+        [&](const void* sub, std::uint32_t len) {
+          (void)len;
+          void* smsg = const_cast<void*>(sub);
+          CmiMsgHeader* sh = header_of(smsg);
+          sh->flags |= kMsgFlagNoFree;
+          pe.ctx().charge(options_.mc.agg_item_overhead_ns);
+          if ((sh->flags & kMsgFlagBcast) &&
+              static_cast<int>(sh->bcast_root) != pe.id()) {
+            forward_broadcast(pe, smsg);
+          }
+          if (!(sh->flags & kMsgFlagSystem)) {
+            ++qd_processed_[static_cast<std::size_t>(pe.id())];
+          }
+          assert(sh->handler < handlers_.size());
+          handlers_[sh->handler](smsg);
+          ++stats_.msgs_executed;
+        });
+    assert(ok && "malformed aggregation frame");
+    (void)ok;
+    layer_->free_msg(pe.ctx(), pe, msg);
+    return;
+  }
   if ((h->flags & kMsgFlagBcast) &&
       static_cast<int>(h->bcast_root) != pe.id()) {
     forward_broadcast(pe, msg);
@@ -289,16 +397,10 @@ PersistentHandle Machine::create_persistent(int dest_pe,
 }
 
 void Machine::send_persistent(PersistentHandle handle, void* msg) {
-  Pe& src = current_pe();
-  CmiMsgHeader* h = header_of(msg);
-  h->src_pe = src.id();
-  if (!(h->flags & kMsgFlagSystem)) {
-    ++qd_created_[static_cast<std::size_t>(src.id())];
-  }
-  ++stats_.msgs_sent;
-  stats_.bytes_sent += h->size;
-  src.ctx().charge(options_.mc.charm_send_overhead_ns);
-  layer_->send_persistent(src.ctx(), src, handle, h->size, msg);
+  SendOptions opts;
+  opts.allow_aggregation = false;
+  opts.persistent_handle = handle;
+  submit(/*dest_pe=*/-1, msg, opts);
 }
 
 void Machine::start(int pe_id, std::function<void()> fn) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "aggregation/config.hpp"
 #include "fault/fault.hpp"
 #include "gemini/machine_config.hpp"
 #include "gemini/network.hpp"
@@ -32,6 +33,9 @@
 
 namespace ugnirt::trace {
 class Tracer;
+}
+namespace ugnirt::aggregation {
+class Aggregator;
 }
 
 namespace ugnirt::converse {
@@ -50,6 +54,27 @@ enum class LayerKind {
 struct PersistentHandle {
   std::int32_t id = -1;
   bool valid() const { return id >= 0; }
+};
+
+/// Non-owning view of a framed Converse message (envelope at the front).
+/// `size` always equals header_of(msg)->size; it rides along so layers can
+/// route without re-reading the header.
+struct MsgView {
+  void* msg = nullptr;
+  std::uint32_t size = 0;
+};
+
+/// Per-send knobs for the unified submit() path.  Default-constructed
+/// SendOptions reproduce the classic CmiSyncSendAndFree behavior.
+struct SendOptions {
+  /// Reserved for priority-aware scheduling; today all traffic is FIFO.
+  int priority = 0;
+  /// Allow the aggregation layer to coalesce this message (only messages
+  /// under agg.threshold are affected; see aggregation/aggregation.hpp).
+  bool allow_aggregation = true;
+  /// When valid, the send rides the pre-negotiated persistent channel
+  /// (paper §IV-A) and `dest_pe` is ignored — the channel pins it.
+  PersistentHandle persistent_handle{};
 };
 
 struct MachineOptions {
@@ -85,6 +110,9 @@ struct MachineOptions {
   /// Deterministic fault-injection plan ("fault.*" config keys /
   /// UGNIRT_FAULT_* env).  Installed on the network when `enabled`.
   fault::FaultPlan fault{};
+  /// Small-message aggregation (TRAM-lite; "agg.*" config keys /
+  /// UGNIRT_AGG_* env).  An Aggregator is installed when `enable`.
+  aggregation::AggregationConfig aggregation{};
 
   int effective_pes_per_node() const {
     return pes_per_node > 0 ? pes_per_node : mc.cores_per_node;
@@ -167,10 +195,30 @@ class MachineLayer {
   virtual void* alloc(sim::Context& ctx, Pe& pe, std::size_t bytes) = 0;
   virtual void free_msg(sim::Context& ctx, Pe& pe, void* msg) = 0;
 
-  /// LrtsSyncSend: non-blocking; ownership of `msg` passes to the layer
-  /// (it frees the buffer once delivery no longer needs it).
-  virtual void sync_send(sim::Context& ctx, Pe& src, int dest_pe,
-                         std::uint32_t size, void* msg) = 0;
+  /// The unified LRTS send entry (LrtsSyncSend + persistent sends, one
+  /// virtual).  Non-blocking; ownership of `msg.msg` passes to the layer,
+  /// which frees the buffer once delivery no longer needs it.  When
+  /// `opts.persistent_handle` is valid the send rides the persistent
+  /// channel and `dest_pe` may be -1 (the handle pins the destination);
+  /// layers without persistent support assert.  `opts.allow_aggregation`
+  /// is advisory above this interface — by the time a message reaches the
+  /// layer the aggregation decision is already made.
+  virtual void submit(sim::Context& ctx, Pe& src, int dest_pe, MsgView msg,
+                      const SendOptions& opts) = 0;
+
+  /// Largest message (total bytes) this layer moves to `dest_pe` in ONE
+  /// transaction — the aggregation buffer bound for the (src, dest) pair.
+  /// Return 0 to opt the pair out of batching entirely (e.g. intra-node
+  /// pointer handoff, where packing would add copies to a zero-copy path).
+  virtual std::uint32_t recommended_batch_bytes(Pe& src, int dest_pe) const;
+
+  /// Pre-submit() spelling of the send entry.  Thin shim retained for
+  /// source compatibility; new code calls submit().
+  [[deprecated("use submit(ctx, src, dest_pe, MsgView, SendOptions)")]]
+  void sync_send(sim::Context& ctx, Pe& src, int dest_pe, std::uint32_t size,
+                 void* msg) {
+    submit(ctx, src, dest_pe, MsgView{msg, size}, SendOptions{});
+  }
 
   /// LrtsNetworkEngine: poll completion queues, run protocol state
   /// machines, deliver arrived messages to the scheduler.
@@ -189,9 +237,17 @@ class MachineLayer {
   virtual PersistentHandle create_persistent(sim::Context& ctx, Pe& src,
                                              int dest_pe,
                                              std::uint32_t max_bytes);
-  virtual void send_persistent(sim::Context& ctx, Pe& src,
-                               PersistentHandle handle, std::uint32_t size,
-                               void* msg);
+
+  /// Pre-submit() spelling of persistent sends; new code passes the handle
+  /// in SendOptions.
+  [[deprecated("use submit() with SendOptions::persistent_handle")]]
+  void send_persistent(sim::Context& ctx, Pe& src, PersistentHandle handle,
+                       std::uint32_t size, void* msg) {
+    SendOptions opts;
+    opts.allow_aggregation = false;
+    opts.persistent_handle = handle;
+    submit(ctx, src, /*dest_pe=*/-1, MsgView{msg, size}, opts);
+  }
 };
 
 /// Handler function; executes on the destination PE with sim::current()
@@ -234,16 +290,31 @@ class Machine {
   // ---- messaging (callable from inside handlers) ----
   /// Allocate a message of `total` bytes (header included) on the current PE.
   void* alloc_msg(std::uint32_t total);
-  /// CmiSyncSendAndFree: send `msg` to dest_pe; layer takes ownership.
+  /// The unified send entry: every message — plain, broadcast leg,
+  /// persistent — funnels through here and down to MachineLayer::submit,
+  /// with the aggregation layer in between for eligible small messages.
+  /// Ownership of `msg` passes to the runtime.
+  void submit(int dest_pe, void* msg, const SendOptions& opts);
+  /// CmiSyncSendAndFree: send `msg` to dest_pe; thin wrapper over submit().
   void send(int dest_pe, void* msg);
   /// CmiSyncBroadcastAllAndFree: deliver to every PE (including sender)
-  /// via a spanning tree.
+  /// via a spanning tree (each tree leg goes through submit(), so small
+  /// broadcasts aggregate too).
   void broadcast(void* msg);
   void free_msg(void* msg);
 
   // ---- persistent messages ----
   PersistentHandle create_persistent(int dest_pe, std::uint32_t max_bytes);
+  /// Thin wrapper: submit() with SendOptions::persistent_handle set.
   void send_persistent(PersistentHandle h, void* msg);
+
+  // ---- aggregation ----
+  /// The installed aggregator, or nullptr when aggregation is disabled.
+  aggregation::Aggregator* aggregator() { return aggregator_.get(); }
+  /// Explicit barrier flush of the current PE's aggregation buffers
+  /// (no-op when aggregation is off).  Collectives and app barriers call
+  /// this so coalesced stragglers never gate a dependency chain.
+  void flush_aggregation();
 
   // ---- bootstrapping / running ----
   /// Schedule `fn` to run on `pe` at virtual time 0 (before any messages).
@@ -287,6 +358,7 @@ class Machine {
 
   void dispatch(Pe& pe, void* msg);
   void forward_broadcast(Pe& pe, void* msg);
+  void* clone_runtime_owned(Pe& src, void* msg);
 
   MachineOptions options_;
   sim::Engine engine_;
@@ -301,6 +373,9 @@ class Machine {
   trace::MetricsRegistry metrics_;
   trace::Tracer* tracer_ = nullptr;
   Pe* current_pe_ = nullptr;
+  // Declared last: its destructor returns leased batch buffers through
+  // layer_ while the PEs are still alive.
+  std::unique_ptr<aggregation::Aggregator> aggregator_;
 };
 
 // ---- Converse-style free functions (valid inside handlers) ----

@@ -16,6 +16,10 @@ constexpr std::uint16_t kMsgFlagSystem = 1u << 0;   // excluded from QD counts
 constexpr std::uint16_t kMsgFlagNoFree = 1u << 1;   // runtime-owned buffer
                                                     // (persistent channel)
 constexpr std::uint16_t kMsgFlagBcast = 1u << 2;    // spanning-tree forward
+constexpr std::uint16_t kMsgFlagAggBatch = 1u << 3;  // aggregation batch:
+                                                     // payload is a frame of
+                                                     // coalesced messages
+                                                     // (aggregation/frame.hpp)
 
 struct CmiMsgHeader {
   std::uint32_t size = 0;       // total bytes, header included

@@ -69,6 +69,8 @@ MachineConfig MachineConfig::from(const Config& cfg) {
   m.charm_recv_overhead_ns =
       i64("charm_recv_overhead_ns", m.charm_recv_overhead_ns);
   m.sched_loop_ns = i64("sched_loop_ns", m.sched_loop_ns);
+  m.agg_item_overhead_ns =
+      i64("agg_item_overhead_ns", m.agg_item_overhead_ns);
   m.rdma_threshold = i32("rdma_threshold", m.rdma_threshold);
 
   m.mpi_call_overhead_ns = i64("mpi_call_overhead_ns", m.mpi_call_overhead_ns);
@@ -133,6 +135,7 @@ void MachineConfig::export_to(Config& cfg) const {
   set_i("charm_send_overhead_ns", charm_send_overhead_ns);
   set_i("charm_recv_overhead_ns", charm_recv_overhead_ns);
   set_i("sched_loop_ns", sched_loop_ns);
+  set_i("agg_item_overhead_ns", agg_item_overhead_ns);
   set_i("rdma_threshold", rdma_threshold);
   set_i("mpi_call_overhead_ns", mpi_call_overhead_ns);
   set_i("mpi_match_ns", mpi_match_ns);

@@ -78,6 +78,11 @@ struct MachineConfig {
   SimTime charm_send_overhead_ns = 220;   // envelope + scheduler enqueue
   SimTime charm_recv_overhead_ns = 250;   // handler dispatch + bookkeeping
   SimTime sched_loop_ns = 50;             // one empty scheduler iteration
+  /// Per sub-message delivery cost when unpacking an aggregated batch in
+  /// place (envelope check + handler lookup); the full recv overhead is
+  /// paid once per batch, not once per item — that amortization is the
+  /// whole point of TRAM-style coalescing.
+  SimTime agg_item_overhead_ns = 60;
   std::uint32_t rdma_threshold = 4096;    // FMA GET below, BTE GET at/above
 
   // ---- MPI library model (Cray MPI over the same uGNI) ----

@@ -65,18 +65,30 @@ void MpiLayer::free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) {
   ::operator delete[](msg, std::align_val_t{16});
 }
 
-void MpiLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
-                         std::uint32_t size, void* msg) {
-  (void)ctx;
+void MpiLayer::submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                      converse::MsgView mv, const converse::SendOptions& opts) {
+  assert(!opts.persistent_handle.valid() &&
+         "MPI layer has no persistent channels");
+  (void)opts;
   PeState& s = state(src);
   auto req = std::make_unique<mpilite::Request>();
-  comm_->isend(src.id(), dest_pe, kCharmTag, msg, size, req.get());
+  comm_->isend(src.id(), dest_pe, kCharmTag, mv.msg, mv.size, req.get());
   if (req->done) {
     // Buffered (eager / shm): MPI copied what it needs.
-    free_msg(ctx, src, msg);
+    free_msg(ctx, src, mv.msg);
     return;
   }
-  s.outstanding.push_back(PeState::OutSend{std::move(req), msg});
+  s.outstanding.push_back(PeState::OutSend{std::move(req), mv.msg});
+}
+
+std::uint32_t MpiLayer::recommended_batch_bytes(converse::Pe& src,
+                                                int dest_pe) const {
+  (void)src;
+  (void)dest_pe;
+  // An eager isend is one buffered transaction; past the threshold MPI
+  // switches to rendezvous and a batch would pin the buffer instead.
+  return static_cast<std::uint32_t>(
+      machine_->options().mc.mpi_eager_threshold);
 }
 
 void MpiLayer::advance(sim::Context& ctx, converse::Pe& pe) {

@@ -10,18 +10,21 @@ std::unique_ptr<converse::Machine> make_machine(
     converse::LayerKind kind, const converse::MachineOptions& options_in) {
   converse::MachineOptions options = options_in;
   options.layer = kind;
-  // Honor UGNIRT_GEMINI_* / UGNIRT_FAULT_* / UGNIRT_RETRY_* environment
-  // overrides for every model constant, fault knob and retry knob, so
-  // experiments and ablations can retune the machine without rebuilds.
+  // Honor UGNIRT_GEMINI_* / UGNIRT_FAULT_* / UGNIRT_RETRY_* / UGNIRT_AGG_*
+  // environment overrides for every model constant, fault knob, retry knob
+  // and aggregation knob, so experiments and ablations can retune the
+  // machine without rebuilds.
   {
     Config cfg;
     options.mc.export_to(cfg);
     options.fault.export_to(cfg);
     options.retry.export_to(cfg);
+    options.aggregation.export_to(cfg);
     cfg.apply_env_overrides();
     options.mc = gemini::MachineConfig::from(cfg);
     options.fault = fault::FaultPlan::from(cfg);
     options.retry = fault::RetryPolicy::from(cfg);
+    options.aggregation = aggregation::AggregationConfig::from(cfg);
   }
   std::unique_ptr<converse::MachineLayer> layer;
   switch (kind) {

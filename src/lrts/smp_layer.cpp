@@ -297,11 +297,16 @@ void SmpLayer::free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) {
 // Send path
 // ---------------------------------------------------------------------------
 
-void SmpLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
-                         std::uint32_t size, void* msg) {
+void SmpLayer::submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                      converse::MsgView mv,
+                      const converse::SendOptions& opts) {
+  assert(!opts.persistent_handle.valid() &&
+         "SMP layer has no persistent channels");
+  (void)opts;
   converse::Machine& m = *machine_;
   NodeState& n = node_state(src.node());
-  (void)size;
+  void* msg = mv.msg;
+  const std::uint32_t size = mv.size;
 
   if (std::getenv("UGNIRT_SMPDBG"))
     std::fprintf(stderr, "SEND dest=%d size=%u t=%lld\n", dest_pe, size,
@@ -317,6 +322,18 @@ void SmpLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
   ctx.charge(kSmpEnqueueNs);
   n.outq.push_back(NodeState::Out{dest_pe, msg, size, ctx.now()});
   comm_wake(n, ctx.now());
+}
+
+std::uint32_t SmpLayer::recommended_batch_bytes(converse::Pe& src,
+                                                int dest_pe) const {
+  if (machine_->node_of_pe(dest_pe) == src.node()) {
+    // Intra-node messages pass by pointer — zero copies.  Packing them
+    // into a batch would *add* two memcpys, so opt the pair out.
+    return 0;
+  }
+  // One comm-thread SMSG is the transaction unit; it spends 4 payload
+  // bytes on the worker routing prefix.
+  return smsg_cap_ > 4 ? smsg_cap_ - 4 : 0;
 }
 
 // ---------------------------------------------------------------------------

@@ -47,8 +47,11 @@ class SmpLayer final : public converse::MachineLayer {
   void init_pe(converse::Pe& pe) override;
   void* alloc(sim::Context& ctx, converse::Pe& pe, std::size_t bytes) override;
   void free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) override;
-  void sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
-                 std::uint32_t size, void* msg) override;
+  void submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
+              converse::MsgView msg,
+              const converse::SendOptions& opts) override;
+  std::uint32_t recommended_batch_bytes(converse::Pe& src,
+                                        int dest_pe) const override;
   void advance(sim::Context& ctx, converse::Pe& pe) override;
   bool has_backlog(const converse::Pe& pe) const override;
 

@@ -22,6 +22,10 @@ constexpr std::uint8_t kTagInit = 2;          // INIT_TAG: rendezvous control
 constexpr std::uint8_t kTagAck = 3;           // ACK_TAG: sender may free
 constexpr std::uint8_t kTagPersistData = 4;   // PERSISTENT_TAG: data landed
 
+// Aggregation-batch bound for the intra-node pxshm path: a shm queue slot
+// carries any size, so cap batches at one page-ish lease from the pool.
+constexpr std::uint32_t kPxshmBatchBytes = 4096;
+
 /// INIT_TAG payload: everything the receiver needs to GET the message.
 struct InitCtrl {
   std::uint64_t send_id = 0;
@@ -486,27 +490,47 @@ bool UgniLayer::demote_front_to_rendezvous(sim::Context& ctx, PeState& s) {
 }
 
 // ---------------------------------------------------------------------------
-// Send path (LrtsSyncSend)
+// Send path (the unified LRTS submit entry)
 // ---------------------------------------------------------------------------
 
-void UgniLayer::sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
-                          std::uint32_t size, void* msg) {
+void UgniLayer::submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
+                       converse::MsgView msg,
+                       const converse::SendOptions& opts) {
+  if (opts.persistent_handle.valid()) {
+    persistent_send(ctx, src, opts.persistent_handle, msg.size, msg.msg);
+    return;
+  }
   converse::Machine& m = *machine_;
   PeState& s = state(src);
 
   const bool same_node = m.node_of_pe(dest_pe) == src.node();
   if (same_node && m.options().use_pxshm) {
-    pxshm_send(ctx, src, dest_pe, size, msg);
+    pxshm_send(ctx, src, dest_pe, msg.size, msg.msg);
     return;
   }
 
-  if (size <= smsg_cap_) {
-    smsg_send(ctx, s, dest_pe, kTagData, msg, size, /*owned_msg=*/msg);
+  if (msg.size <= smsg_cap_) {
+    smsg_send(ctx, s, dest_pe, kTagData, msg.msg, msg.size,
+              /*owned_msg=*/msg.msg);
     return;
   }
 
   // Rendezvous (Fig 5): register / resolve the send buffer, ship INIT_TAG.
-  begin_rendezvous(ctx, s, dest_pe, size, msg);
+  begin_rendezvous(ctx, s, dest_pe, msg.size, msg.msg);
+}
+
+std::uint32_t UgniLayer::recommended_batch_bytes(converse::Pe& src,
+                                                 int dest_pe) const {
+  converse::Machine& m = *machine_;
+  if (m.node_of_pe(dest_pe) == src.node() && m.options().use_pxshm) {
+    // pxshm moves any size in one queue slot; batching saves per-message
+    // enqueue/notify overhead.  Round the lease up to a full mempool size
+    // class so no registered bytes are wasted.
+    return static_cast<std::uint32_t>(
+        mempool::MemPool::usable_size(kPxshmBatchBytes));
+  }
+  // One SMSG mailbox write is the single-transaction ceiling.
+  return smsg_cap_;
 }
 
 void UgniLayer::begin_rendezvous(sim::Context& ctx, PeState& s, int dest_pe,
@@ -812,7 +836,7 @@ converse::PersistentHandle UgniLayer::create_persistent(
       static_cast<std::int32_t>(s.persist_tx.size()) - 1};
 }
 
-void UgniLayer::send_persistent(sim::Context& ctx, converse::Pe& src,
+void UgniLayer::persistent_send(sim::Context& ctx, converse::Pe& src,
                                 converse::PersistentHandle handle,
                                 std::uint32_t size, void* msg) {
   assert(handle.valid());

@@ -48,17 +48,17 @@ class UgniLayer final : public converse::MachineLayer {
   void init_pe(converse::Pe& pe) override;
   void* alloc(sim::Context& ctx, converse::Pe& pe, std::size_t bytes) override;
   void free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) override;
-  void sync_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
-                 std::uint32_t size, void* msg) override;
+  void submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
+              converse::MsgView msg,
+              const converse::SendOptions& opts) override;
+  std::uint32_t recommended_batch_bytes(converse::Pe& src,
+                                        int dest_pe) const override;
   void advance(sim::Context& ctx, converse::Pe& pe) override;
   bool has_backlog(const converse::Pe& pe) const override;
 
   converse::PersistentHandle create_persistent(
       sim::Context& ctx, converse::Pe& src, int dest_pe,
       std::uint32_t max_bytes) override;
-  void send_persistent(sim::Context& ctx, converse::Pe& src,
-                       converse::PersistentHandle handle, std::uint32_t size,
-                       void* msg) override;
 
   /// Snapshot of this layer's registry-backed counters (zeros before the
   /// first init_pe binds them).
@@ -97,6 +97,10 @@ class UgniLayer final : public converse::MachineLayer {
   /// then send/queue the INIT control message).
   void begin_rendezvous(sim::Context& ctx, PeState& s, int dest_pe,
                         std::uint32_t size, void* msg);
+  /// Single PUT + notification down a pre-negotiated channel (Fig 7a).
+  void persistent_send(sim::Context& ctx, converse::Pe& src,
+                       converse::PersistentHandle handle, std::uint32_t size,
+                       void* msg);
 
   void handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
                    int src_inst);

@@ -50,6 +50,10 @@ std::size_t MemPool::bin_block_size(std::size_t bin) {
   return kMinBlock << bin;
 }
 
+std::size_t MemPool::usable_size(std::size_t bytes) {
+  return bin_block_size(bin_of(bytes));
+}
+
 bool MemPool::add_slab(std::size_t min_bytes) {
   // Grow geometrically, and always leave room for several blocks of the
   // triggering size so steady-state traffic of one size class stops

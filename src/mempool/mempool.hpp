@@ -60,6 +60,12 @@ class MemPool {
   /// Usable size class of the allocation at `p`.
   std::size_t block_size(const void* p) const;
 
+  /// Usable bytes of the block alloc(bytes) would return — the power-of-
+  /// two size class covering `bytes`.  Lease-sized buffers (aggregation
+  /// batches) round their capacity up to this so no registered pool bytes
+  /// are stranded.
+  static std::size_t usable_size(std::size_t bytes);
+
   const MemPoolStats& stats() const { return stats_; }
   ugni::gni_nic_handle_t nic() const { return nic_; }
 

@@ -54,6 +54,8 @@ const char* event_name(Ev type) {
       return "fallback";
     case Ev::kCqRecover:
       return "cq_recover";
+    case Ev::kAggFlush:
+      return "agg_flush";
   }
   return "unknown";
 }

@@ -51,8 +51,10 @@ enum class Ev : std::uint8_t {
   kRetryBackoff,    // a layer backed off (virtual time) before retrying
   kFallback,        // degraded path taken (heap send, rendezvous demotion)
   kCqRecover,       // CQ overrun recovered via GNI_CqErrorRecover
+  kAggFlush,        // aggregation batch shipped (size = batch bytes,
+                    // peer = destination PE)
 };
-constexpr int kEvCount = static_cast<int>(Ev::kCqRecover) + 1;
+constexpr int kEvCount = static_cast<int>(Ev::kAggFlush) + 1;
 
 const char* event_name(Ev type);
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Lint: no application-facing code may call the deprecated MachineLayer
+# send virtuals.  Everything outside the runtime core (src/converse,
+# src/lrts) must go through the unified path — Machine::submit()/send()/
+# broadcast()/send_persistent() or the Cmi* wrappers — so that every
+# message is eligible for aggregation and the per-layer protocol choice
+# stays behind MachineLayer::submit().
+#
+# Usage: check_deprecated_sends.sh [repo-root]
+# Exits non-zero and prints offending lines if any bench / example / app /
+# test target calls a deprecated send entry point.
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+# The deprecated surface: the old per-layer virtuals.  `sync_send` only
+# exists on MachineLayer (Machine never had it), so any match outside the
+# runtime core is a violation.  Layer-level `send_persistent` was renamed;
+# the public Machine::send_persistent API remains fine, so we only flag
+# explicit layer()-qualified calls.
+pattern='(\.|->)sync_send[[:space:]]*\(|layer\(\)\.send_persistent[[:space:]]*\('
+
+violations=$(grep -rEn "$pattern" \
+    --include='*.cpp' --include='*.hpp' --include='*.h' \
+    bench examples tests src/apps 2>/dev/null)
+
+if [ -n "$violations" ]; then
+  echo "error: deprecated MachineLayer send virtual called outside the" >&2
+  echo "runtime core; use Machine::submit()/send() or the Cmi* API:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+
+echo "check_deprecated_sends: OK (no deprecated send calls outside src/converse + src/lrts)"
+exit 0
