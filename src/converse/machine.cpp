@@ -7,6 +7,7 @@
 
 #include "aggregation/aggregation.hpp"
 #include "aggregation/frame.hpp"
+#include "flowcontrol/flowcontrol.hpp"
 #include "trace/events.hpp"
 #include "trace/session.hpp"
 #include "trace/tracer.hpp"
@@ -151,6 +152,12 @@ Machine::Machine(MachineOptions options, std::unique_ptr<MachineLayer> layer)
   if (options_.fault.enabled) {
     fault_ = std::make_unique<fault::FaultInjector>(options_.fault);
     network_->set_fault_injector(fault_.get());
+  }
+  if (options_.flow.enable) {
+    flow_ = std::make_unique<flowcontrol::CongestionEstimator>(
+        options_.flow, network_->torus().total_links(),
+        static_cast<std::size_t>(network_->torus().nodes()));
+    network_->set_congestion_estimator(flow_.get());
   }
   qd_created_.assign(static_cast<std::size_t>(options_.pes), 0);
   qd_processed_.assign(static_cast<std::size_t>(options_.pes), 0);

@@ -23,6 +23,7 @@
 
 #include "aggregation/config.hpp"
 #include "fault/fault.hpp"
+#include "flowcontrol/config.hpp"
 #include "gemini/machine_config.hpp"
 #include "gemini/network.hpp"
 #include "sim/context.hpp"
@@ -36,6 +37,9 @@ class Tracer;
 }
 namespace ugnirt::aggregation {
 class Aggregator;
+}
+namespace ugnirt::flowcontrol {
+class CongestionEstimator;
 }
 
 namespace ugnirt::converse {
@@ -113,6 +117,10 @@ struct MachineOptions {
   /// Small-message aggregation (TRAM-lite; "agg.*" config keys /
   /// UGNIRT_AGG_* env).  An Aggregator is installed when `enable`.
   aggregation::AggregationConfig aggregation{};
+  /// Congestion control ("flow.*" config keys / UGNIRT_FLOW_* env).  A
+  /// CongestionEstimator is installed on the network when `enable`; the
+  /// uGNI layer additionally spins up its InjectionGovernor.
+  flowcontrol::FlowConfig flow{};
 
   int effective_pes_per_node() const {
     return pes_per_node > 0 ? pes_per_node : mc.cores_per_node;
@@ -180,7 +188,7 @@ class Pe {
 };
 
 /// The LRTS interface (paper §III-B), object-flavored.  LrtsInit maps to
-/// the constructor + init_pe; LrtsSyncSend to sync_send; LrtsNetworkEngine
+/// the constructor + init_pe; LrtsSyncSend to submit; LrtsNetworkEngine
 /// to advance.
 class MachineLayer {
  public:
@@ -212,14 +220,6 @@ class MachineLayer {
   /// pointer handoff, where packing would add copies to a zero-copy path).
   virtual std::uint32_t recommended_batch_bytes(Pe& src, int dest_pe) const;
 
-  /// Pre-submit() spelling of the send entry.  Thin shim retained for
-  /// source compatibility; new code calls submit().
-  [[deprecated("use submit(ctx, src, dest_pe, MsgView, SendOptions)")]]
-  void sync_send(sim::Context& ctx, Pe& src, int dest_pe, std::uint32_t size,
-                 void* msg) {
-    submit(ctx, src, dest_pe, MsgView{msg, size}, SendOptions{});
-  }
-
   /// LrtsNetworkEngine: poll completion queues, run protocol state
   /// machines, deliver arrived messages to the scheduler.
   virtual void advance(sim::Context& ctx, Pe& pe) = 0;
@@ -237,17 +237,6 @@ class MachineLayer {
   virtual PersistentHandle create_persistent(sim::Context& ctx, Pe& src,
                                              int dest_pe,
                                              std::uint32_t max_bytes);
-
-  /// Pre-submit() spelling of persistent sends; new code passes the handle
-  /// in SendOptions.
-  [[deprecated("use submit() with SendOptions::persistent_handle")]]
-  void send_persistent(sim::Context& ctx, Pe& src, PersistentHandle handle,
-                       std::uint32_t size, void* msg) {
-    SendOptions opts;
-    opts.allow_aggregation = false;
-    opts.persistent_handle = handle;
-    submit(ctx, src, /*dest_pe=*/-1, MsgView{msg, size}, opts);
-  }
 };
 
 /// Handler function; executes on the destination PE with sim::current()
@@ -276,6 +265,11 @@ class Machine {
   gemini::Network& network() { return *network_; }
   /// The installed fault injector, or nullptr when faults are disabled.
   fault::FaultInjector* fault_injector() { return fault_.get(); }
+  /// The installed congestion estimator, or nullptr when flow control is
+  /// disabled.
+  flowcontrol::CongestionEstimator* congestion_estimator() {
+    return flow_.get();
+  }
   sim::Engine& engine() { return engine_; }
   MachineLayer& layer() { return *layer_; }
   trace::Tracer* tracer() { return tracer_; }
@@ -364,6 +358,7 @@ class Machine {
   sim::Engine engine_;
   std::unique_ptr<gemini::Network> network_;
   std::unique_ptr<fault::FaultInjector> fault_;
+  std::unique_ptr<flowcontrol::CongestionEstimator> flow_;
   std::unique_ptr<MachineLayer> layer_;
   std::vector<std::unique_ptr<Pe>> pes_;
   std::vector<CmiHandler> handlers_;

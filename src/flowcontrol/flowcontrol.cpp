@@ -1,0 +1,223 @@
+#include "flowcontrol/flowcontrol.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "trace/events.hpp"
+#include "util/stats.hpp"
+
+namespace ugnirt::flowcontrol {
+
+// ---------------------------------------------------------------------------
+// FlowConfig
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr const char* kFlowKeys[] = {
+    "flow.enable",          "flow.ewma_alpha",
+    "flow.hot_threshold",   "flow.window_min",
+    "flow.window_max",      "flow.window_start",
+    "flow.aimd_increase",   "flow.aimd_decrease",
+    "flow.pace_rendezvous", "flow.adaptive_routing",
+    "flow.adapt_thresholds", "flow.sample_period_ns",
+};
+
+std::string fkey(const char* name) { return std::string("flow.") + name; }
+}  // namespace
+
+FlowConfig FlowConfig::from(const Config& cfg) {
+  FlowConfig f;
+  f.enable = cfg.get_bool_or(fkey("enable"), f.enable);
+  f.ewma_alpha = cfg.get_double_or(fkey("ewma_alpha"), f.ewma_alpha);
+  f.hot_threshold =
+      cfg.get_double_or(fkey("hot_threshold"), f.hot_threshold);
+  f.window_min = static_cast<std::uint32_t>(
+      cfg.get_int_or(fkey("window_min"), f.window_min));
+  f.window_max = static_cast<std::uint32_t>(
+      cfg.get_int_or(fkey("window_max"), f.window_max));
+  f.window_start = static_cast<std::uint32_t>(
+      cfg.get_int_or(fkey("window_start"), f.window_start));
+  f.aimd_increase =
+      cfg.get_double_or(fkey("aimd_increase"), f.aimd_increase);
+  f.aimd_decrease =
+      cfg.get_double_or(fkey("aimd_decrease"), f.aimd_decrease);
+  f.pace_rendezvous =
+      cfg.get_bool_or(fkey("pace_rendezvous"), f.pace_rendezvous);
+  f.adaptive_routing =
+      cfg.get_bool_or(fkey("adaptive_routing"), f.adaptive_routing);
+  f.adapt_thresholds =
+      cfg.get_bool_or(fkey("adapt_thresholds"), f.adapt_thresholds);
+  f.sample_period_ns =
+      cfg.get_int_or(fkey("sample_period_ns"), f.sample_period_ns);
+  // Keep the window sane whatever the overrides say: min >= 1 so the
+  // governor can never wedge a PE, and start inside [min, max].
+  f.window_min = std::max<std::uint32_t>(f.window_min, 1);
+  f.window_max = std::max(f.window_max, f.window_min);
+  f.window_start = std::clamp(f.window_start, f.window_min, f.window_max);
+  return f;
+}
+
+void FlowConfig::export_to(Config& cfg) const {
+  cfg.set(fkey("enable"), enable ? "true" : "false");
+  cfg.set(fkey("ewma_alpha"), std::to_string(ewma_alpha));
+  cfg.set(fkey("hot_threshold"), std::to_string(hot_threshold));
+  cfg.set(fkey("window_min"), std::to_string(window_min));
+  cfg.set(fkey("window_max"), std::to_string(window_max));
+  cfg.set(fkey("window_start"), std::to_string(window_start));
+  cfg.set(fkey("aimd_increase"), std::to_string(aimd_increase));
+  cfg.set(fkey("aimd_decrease"), std::to_string(aimd_decrease));
+  cfg.set(fkey("pace_rendezvous"), pace_rendezvous ? "true" : "false");
+  cfg.set(fkey("adaptive_routing"), adaptive_routing ? "true" : "false");
+  cfg.set(fkey("adapt_thresholds"), adapt_thresholds ? "true" : "false");
+  cfg.set(fkey("sample_period_ns"), std::to_string(sample_period_ns));
+}
+
+const char* const* FlowConfig::config_keys(std::size_t* count) {
+  *count = sizeof(kFlowKeys) / sizeof(kFlowKeys[0]);
+  return kFlowKeys;
+}
+
+// ---------------------------------------------------------------------------
+// CongestionEstimator
+// ---------------------------------------------------------------------------
+
+CongestionEstimator::CongestionEstimator(const FlowConfig& cfg,
+                                         std::size_t num_links,
+                                         std::size_t num_nodes)
+    : cfg_(cfg),
+      link_load_(num_links, 0.0),
+      node_load_(num_nodes, 0.0),
+      last_sample_(num_links, 0) {}
+
+void CongestionEstimator::on_link_reserve(std::size_t link,
+                                          int initiator_node, SimTime wait_ns,
+                                          SimTime duration_ns, SimTime now) {
+  const double total =
+      static_cast<double>(wait_ns) + static_cast<double>(duration_ns);
+  const double sample =
+      total > 0 ? static_cast<double>(wait_ns) / total : 0.0;
+  const double a = cfg_.ewma_alpha;
+  double& ll = link_load_[link];
+  ll += a * (sample - ll);
+  double& nl = node_load_[static_cast<std::size_t>(initiator_node)];
+  nl += a * (sample - nl);
+  ++samples_;
+  if (nl >= cfg_.hot_threshold) ++hot_samples_;
+  if (trace::enabled() &&
+      now - last_sample_[link] >= cfg_.sample_period_ns) {
+    last_sample_[link] = now;
+    // size carries the smoothed load in parts-per-million, peer the link.
+    trace::emit(trace::Ev::kCongestionSample, now, 0,
+                static_cast<int>(link),
+                static_cast<std::uint32_t>(ll * 1e6));
+  }
+}
+
+void CongestionEstimator::collect_metrics(trace::MetricsRegistry& reg) const {
+  reg.counter("flow.samples").set(samples_);
+  reg.counter("flow.hot_samples").set(hot_samples_);
+  double max_load = 0.0;
+  std::uint64_t hot_links = 0;
+  RunningStat& loads = reg.stat("flow.link_load");
+  for (double l : link_load_) {
+    if (l <= 0.0) continue;  // untouched links skew the mean
+    loads.add(l);
+    max_load = std::max(max_load, l);
+    if (l >= cfg_.hot_threshold) ++hot_links;
+  }
+  reg.gauge("flow.max_link_load").set(max_load);
+  reg.gauge("flow.hot_links").set(static_cast<double>(hot_links));
+}
+
+// ---------------------------------------------------------------------------
+// InjectionGovernor
+// ---------------------------------------------------------------------------
+
+InjectionGovernor::InjectionGovernor(const FlowConfig& cfg,
+                                     const CongestionEstimator* est,
+                                     int num_pes)
+    : cfg_(cfg), est_(est) {
+  PeWindow w;
+  w.cwnd = static_cast<double>(cfg_.window_start);
+  pe_.assign(static_cast<std::size_t>(num_pes), w);
+}
+
+bool InjectionGovernor::try_acquire(int pe, int dest, std::uint32_t bytes,
+                                    SimTime now) {
+  PeWindow& w = pe_[static_cast<std::size_t>(pe)];
+  if (cfg_.pace_rendezvous &&
+      w.outstanding >= static_cast<std::uint32_t>(w.cwnd)) {
+    ++stalls_;
+    if (trace::enabled()) {
+      trace::emit(trace::Ev::kInjectionStall, now, 0, dest, bytes);
+    }
+    return false;
+  }
+  ++w.outstanding;
+  ++admits_;
+  return true;
+}
+
+void InjectionGovernor::note_post(int pe) {
+  ++pe_[static_cast<std::size_t>(pe)].outstanding;
+  ++admits_;
+}
+
+void InjectionGovernor::on_complete(int pe, int node, SimTime /*now*/) {
+  PeWindow& w = pe_[static_cast<std::size_t>(pe)];
+  if (w.outstanding > 0) --w.outstanding;
+  const double load = est_ ? est_->node_load(node) : 0.0;
+  if (load >= cfg_.hot_threshold) {
+    const double next =
+        std::max(static_cast<double>(cfg_.window_min),
+                 w.cwnd * cfg_.aimd_decrease);
+    if (next < w.cwnd) ++decreases_;
+    w.cwnd = next;
+  } else {
+    // Classic AIMD: +increase per window's worth of completions.
+    const double next =
+        std::min(static_cast<double>(cfg_.window_max),
+                 w.cwnd + cfg_.aimd_increase / std::max(1.0, w.cwnd));
+    if (next > w.cwnd) ++increases_;
+    w.cwnd = next;
+  }
+}
+
+std::uint32_t InjectionGovernor::eager_cap(std::uint32_t base,
+                                           int node) const {
+  if (!cfg_.adapt_thresholds || !est_) return base;
+  const double load = est_->node_load(node);
+  if (load < cfg_.hot_threshold) return base;
+  ++eager_shrinks_;
+  std::uint32_t cap = base / 2;
+  if (load >= 2 * cfg_.hot_threshold) cap = base / 4;
+  return std::max<std::uint32_t>(cap, 128);
+}
+
+std::uint32_t InjectionGovernor::rdma_threshold(std::uint32_t base,
+                                                int node) const {
+  if (!cfg_.adapt_thresholds || !est_) return base;
+  if (est_->node_load(node) < cfg_.hot_threshold) return base;
+  ++rdma_shifts_;
+  return std::max<std::uint32_t>(base / 2, 1024);
+}
+
+void InjectionGovernor::collect_metrics(trace::MetricsRegistry& reg) const {
+  reg.counter("flow.admits").set(admits_);
+  reg.counter("flow.injection_stalls").set(stalls_);
+  reg.counter("flow.window_increases").set(increases_);
+  reg.counter("flow.window_decreases").set(decreases_);
+  reg.counter("flow.eager_shrinks").set(eager_shrinks_);
+  reg.counter("flow.rdma_shifts").set(rdma_shifts_);
+  double sum = 0.0;
+  double min_w = pe_.empty() ? 0.0 : pe_.front().cwnd;
+  for (const PeWindow& w : pe_) {
+    sum += w.cwnd;
+    min_w = std::min(min_w, w.cwnd);
+  }
+  reg.gauge("flow.window_avg")
+      .set(pe_.empty() ? 0.0 : sum / static_cast<double>(pe_.size()));
+  reg.gauge("flow.window_min_seen").set(min_w);
+}
+
+}  // namespace ugnirt::flowcontrol

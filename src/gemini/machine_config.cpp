@@ -87,6 +87,7 @@ MachineConfig MachineConfig::from(const Config& cfg) {
   m.mpi_xpmem_overhead_ns =
       i64("mpi_xpmem_overhead_ns", m.mpi_xpmem_overhead_ns);
   m.mpi_shm_notify_ns = i64("mpi_shm_notify_ns", m.mpi_shm_notify_ns);
+  m.mpi_mailbox_credits = i32("mpi_mailbox_credits", m.mpi_mailbox_credits);
 
   m.pxshm_notify_ns = i64("pxshm_notify_ns", m.pxshm_notify_ns);
   m.pxshm_poll_ns = i64("pxshm_poll_ns", m.pxshm_poll_ns);
@@ -150,6 +151,7 @@ void MachineConfig::export_to(Config& cfg) const {
   set_i("mpi_xpmem_threshold", mpi_xpmem_threshold);
   set_i("mpi_xpmem_overhead_ns", mpi_xpmem_overhead_ns);
   set_i("mpi_shm_notify_ns", mpi_shm_notify_ns);
+  set_i("mpi_mailbox_credits", mpi_mailbox_credits);
   set_i("pxshm_notify_ns", pxshm_notify_ns);
   set_i("pxshm_poll_ns", pxshm_poll_ns);
 }

@@ -115,6 +115,11 @@ struct MachineConfig {
   std::uint32_t mpi_xpmem_threshold = 16384;
   SimTime mpi_xpmem_overhead_ns = 2800;
   SimTime mpi_shm_notify_ns = 200;
+  /// SMSG mailbox credits for the MPI library's internal channels (Cray
+  /// MPI runs deeper mailboxes than the bare uGNI layer's
+  /// smsg_mailbox_credits; tune both in one place for credit-pressure
+  /// experiments).
+  std::uint32_t mpi_mailbox_credits = 16;
 
   // ---- Intra-node shared memory (pxshm, §IV-C) ----
   SimTime pxshm_notify_ns = 250;          // fence + flag + queue bookkeeping

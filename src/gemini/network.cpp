@@ -1,10 +1,12 @@
 #include "gemini/network.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <ostream>
 
 #include "fault/fault.hpp"
+#include "flowcontrol/flowcontrol.hpp"
 
 namespace ugnirt::gemini {
 
@@ -32,8 +34,8 @@ Network::Network(sim::Engine& engine, topo::Torus3D torus,
       links_(torus_.total_links()),
       bte_free_(static_cast<std::size_t>(torus_.nodes()), 0) {}
 
-SimTime Network::LinkSchedule::reserve(SimTime earliest, SimTime duration,
-                                       bool* waited) {
+SimTime LinkSchedule::reserve(SimTime earliest, SimTime duration,
+                              bool* waited) {
   // Find the first idle gap of `duration` at or after `earliest`.
   SimTime candidate = earliest;
   std::size_t insert_at = 0;
@@ -77,21 +79,63 @@ SimTime Network::LinkSchedule::reserve(SimTime earliest, SimTime duration,
   return candidate;
 }
 
+std::vector<topo::LinkId> Network::pick_route(int from, int to) {
+  if (!estimator_ || !estimator_->config().adaptive_routing) {
+    return torus_.route(from, to);
+  }
+  // Minimal adaptive routing: every permutation of the dimension
+  // correction order is a minimal route; score each by the summed EWMA
+  // load of its links and keep the coolest.  The stock x->y->z order is
+  // scored first and wins ties, so an unloaded network routes exactly
+  // as stock (and so does any route confined to one dimension, where
+  // all permutations coincide).
+  static constexpr std::array<std::array<int, 3>, 6> kOrders = {{
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+  }};
+  auto score = [this](const std::vector<topo::LinkId>& route) {
+    double s = 0.0;
+    for (const auto& link : route) {
+      s += estimator_->link_load(topo::link_index(link));
+    }
+    return s;
+  };
+  std::vector<topo::LinkId> best = torus_.route_order(from, to, kOrders[0]);
+  double best_score = score(best);
+  bool rerouted = false;
+  for (std::size_t i = 1; i < kOrders.size(); ++i) {
+    std::vector<topo::LinkId> cand =
+        torus_.route_order(from, to, kOrders[i]);
+    double s = score(cand);
+    if (s < best_score) {
+      best = std::move(cand);
+      best_score = s;
+      rerouted = true;
+    }
+  }
+  if (rerouted) ++stats_.adaptive_reroutes;
+  return best;
+}
+
 SimTime Network::reserve_route(int from, int to, SimTime duration,
                                SimTime earliest) {
   if (from == to) return earliest;  // NIC loopback: no torus links used
   // Each Gemini ASIC serves two nodes over the Netlink (paper Fig 2):
   // traffic between ASIC siblings never enters the torus.
   if (from / 2 == to / 2) return earliest;
-  auto route = torus_.route(from, to);
+  auto route = pick_route(from, to);
   // Cut-through pipelining: the head flit claims each link as it reaches
   // it, so congestion on a link only delays *downstream* hops, and idle
   // gaps before future-dated reservations are backfilled.
   SimTime cursor = earliest;
   bool waited = false;
   for (const auto& link : route) {
-    cursor = links_[topo::link_index(link)].reserve(cursor, duration,
-                                                    &waited);
+    const std::size_t idx = topo::link_index(link);
+    const SimTime start = links_[idx].reserve(cursor, duration, &waited);
+    if (estimator_) {
+      estimator_->on_link_reserve(idx, from, start - cursor, duration,
+                                  earliest);
+    }
+    cursor = start;
   }
   if (waited) ++stats_.link_conflicts;
   return cursor;
@@ -210,6 +254,12 @@ void Network::collect_metrics(trace::MetricsRegistry& reg) const {
   reg.counter("net.link_waits").set(waits);
   reg.counter("net.link_wait_ns").set(static_cast<std::uint64_t>(wait_ns));
   if (fault_) fault_->collect_metrics(reg);
+  if (estimator_) {
+    // Flow metrics appear only when the subsystem is installed, so stock
+    // metric dumps stay byte-identical to the seed.
+    reg.counter("net.adaptive_reroutes").set(stats_.adaptive_reroutes);
+    estimator_->collect_metrics(reg);
+  }
 }
 
 void Network::write_link_csv(std::ostream& out) const {

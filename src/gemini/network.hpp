@@ -30,6 +30,9 @@
 namespace ugnirt::fault {
 class FaultInjector;
 }
+namespace ugnirt::flowcontrol {
+class CongestionEstimator;
+}
 
 namespace ugnirt::gemini {
 
@@ -69,6 +72,41 @@ struct NetworkStats {
   std::uint64_t bytes_fma = 0;
   std::uint64_t bytes_bte = 0;
   std::uint64_t link_conflicts = 0;  // transfers that had to wait for a link
+  std::uint64_t adaptive_reroutes = 0;  // routes steered off the stock order
+};
+
+/// Busy intervals of one directional link, kept sorted and bounded.
+/// Backfill is allowed: a transfer may slot into an idle gap before a
+/// future-dated reservation (work-conserving FIFO would otherwise let one
+/// late-cursor sender block the link for everyone — an artifact, not
+/// physics).
+class LinkSchedule {
+ public:
+  struct Busy {
+    SimTime start;
+    SimTime end;
+  };
+  static constexpr std::size_t kMaxIntervals = 16;
+
+  /// Earliest start >= earliest with `duration` of idle link time;
+  /// reserves it.  Sets *waited when the start had to move.
+  SimTime reserve(SimTime earliest, SimTime duration, bool* waited);
+
+  std::uint64_t reservations() const { return reservations_; }
+  SimTime busy_ns() const { return busy_ns_; }
+  std::uint64_t waits() const { return waits_; }
+  SimTime wait_ns() const { return wait_ns_; }
+
+  /// Snapshot of the busy list (sorted by start, non-overlapping, at
+  /// most kMaxIntervals entries) — introspection for property tests.
+  const std::vector<Busy>& intervals() const { return busy_; }
+
+ private:
+  std::vector<Busy> busy_;  // sorted by start, non-overlapping
+  std::uint64_t reservations_ = 0;  // transfers routed over this link
+  SimTime busy_ns_ = 0;             // total reserved wire time
+  std::uint64_t waits_ = 0;         // reservations pushed past `earliest`
+  SimTime wait_ns_ = 0;             // total queueing delay incurred
 };
 
 class Network {
@@ -93,6 +131,24 @@ class Network {
   void set_fault_injector(fault::FaultInjector* f) { fault_ = f; }
   fault::FaultInjector* fault_injector() const { return fault_; }
 
+  /// Install (or with nullptr, remove) a congestion estimator.  Not
+  /// owned.  When set, reserve_route feeds it one O(1) EWMA update per
+  /// link reservation, and — when the estimator's config asks for
+  /// adaptive routing — consults it to pick among minimal dimension-
+  /// order route permutations by estimated link load.  When null the
+  /// send path is bit-identical to stock.
+  void set_congestion_estimator(flowcontrol::CongestionEstimator* e) {
+    estimator_ = e;
+  }
+  flowcontrol::CongestionEstimator* congestion_estimator() const {
+    return estimator_;
+  }
+
+  /// Introspection for tests: the schedule of one directional link.
+  const LinkSchedule& link_schedule(std::size_t idx) const {
+    return links_[idx];
+  }
+
   /// Publish network-wide counters (net.transfers, net.bytes_*,
   /// net.link_conflicts, net.link_waits) plus per-link occupancy as a
   /// "net.link_busy_ns" distribution over links that carried traffic.
@@ -108,34 +164,11 @@ class Network {
   /// `earliest`; returns the actual start (>= earliest) honoring occupancy.
   SimTime reserve_route(int from, int to, SimTime duration, SimTime earliest);
 
-  /// Busy intervals of one directional link, kept sorted and bounded.
-  /// Backfill is allowed: a transfer may slot into an idle gap before a
-  /// future-dated reservation (work-conserving FIFO would otherwise let one
-  /// late-cursor sender block the link for everyone — an artifact, not
-  /// physics).
-  class LinkSchedule {
-   public:
-    /// Earliest start >= earliest with `duration` of idle link time;
-    /// reserves it.  Sets *waited when the start had to move.
-    SimTime reserve(SimTime earliest, SimTime duration, bool* waited);
-
-    std::uint64_t reservations() const { return reservations_; }
-    SimTime busy_ns() const { return busy_ns_; }
-    std::uint64_t waits() const { return waits_; }
-    SimTime wait_ns() const { return wait_ns_; }
-
-   private:
-    struct Busy {
-      SimTime start;
-      SimTime end;
-    };
-    static constexpr std::size_t kMaxIntervals = 16;
-    std::vector<Busy> busy_;  // sorted by start, non-overlapping
-    std::uint64_t reservations_ = 0;  // transfers routed over this link
-    SimTime busy_ns_ = 0;             // total reserved wire time
-    std::uint64_t waits_ = 0;         // reservations pushed past `earliest`
-    SimTime wait_ns_ = 0;             // total queueing delay incurred
-  };
+  /// The links a transfer will reserve: the stock dimension-ordered
+  /// route, or — under flow.adaptive_routing — the minimal dimension-
+  /// order permutation with the lowest estimated load (stock order wins
+  /// ties, so an idle network routes exactly as stock).
+  std::vector<topo::LinkId> pick_route(int from, int to);
 
   /// One-way wire propagation between the nodes.
   SimTime propagation(int from, int to) const {
@@ -149,6 +182,7 @@ class Network {
   std::vector<SimTime> bte_free_;    // per node's BTE engine
   NetworkStats stats_;
   fault::FaultInjector* fault_ = nullptr;
+  flowcontrol::CongestionEstimator* estimator_ = nullptr;
 };
 
 }  // namespace ugnirt::gemini

@@ -11,20 +11,22 @@ std::unique_ptr<converse::Machine> make_machine(
   converse::MachineOptions options = options_in;
   options.layer = kind;
   // Honor UGNIRT_GEMINI_* / UGNIRT_FAULT_* / UGNIRT_RETRY_* / UGNIRT_AGG_*
-  // environment overrides for every model constant, fault knob, retry knob
-  // and aggregation knob, so experiments and ablations can retune the
-  // machine without rebuilds.
+  // / UGNIRT_FLOW_* environment overrides for every model constant, fault
+  // knob, retry knob, aggregation knob and flow-control knob, so
+  // experiments and ablations can retune the machine without rebuilds.
   {
     Config cfg;
     options.mc.export_to(cfg);
     options.fault.export_to(cfg);
     options.retry.export_to(cfg);
     options.aggregation.export_to(cfg);
+    options.flow.export_to(cfg);
     cfg.apply_env_overrides();
     options.mc = gemini::MachineConfig::from(cfg);
     options.fault = fault::FaultPlan::from(cfg);
     options.retry = fault::RetryPolicy::from(cfg);
     options.aggregation = aggregation::AggregationConfig::from(cfg);
+    options.flow = flowcontrol::FlowConfig::from(cfg);
   }
   std::unique_ptr<converse::MachineLayer> layer;
   switch (kind) {

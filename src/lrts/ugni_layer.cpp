@@ -127,6 +127,10 @@ struct UgniLayer::PeState final : converse::LayerPeState {
   int backlog_attempts = 0;      // consecutive failed flush attempts
   SimTime backlog_retry_at = 0;  // no flush retry before this instant
 
+  // Rendezvous GETs admitted into `recvs` but deferred by the injection
+  // governor (AIMD window full); drained FIFO from advance().
+  std::deque<std::uint64_t> deferred_gets;
+
   ~PeState() override {
     for (auto& p : backlog) {
       if (p.msg) ::operator delete[](p.msg, std::align_val_t{16});
@@ -169,6 +173,7 @@ LayerStats UgniLayer::stats() const {
 
 void UgniLayer::collect_metrics(trace::MetricsRegistry& reg) {
   if (domain_) domain_->collect_metrics(reg);
+  if (governor_) governor_->collect_metrics(reg);
   mempool::MemPoolStats pool;
   for (const PeState* s : states_) {
     if (!s || !s->pool) continue;
@@ -214,6 +219,10 @@ void UgniLayer::ensure_domain(converse::Machine& m) {
   c_fallback_heap_ = &reg.counter("fallback_heap_send");
   c_cq_recovered_ = &reg.counter("cq_overrun_recovered");
   retry_ = m.options().retry;
+  if (m.options().flow.enable) {
+    governor_ = std::make_unique<flowcontrol::InjectionGovernor>(
+        m.options().flow, m.congestion_estimator(), m.num_pes());
+  }
   domain_ = std::make_unique<ugni::Domain>(m.network());
   states_.resize(static_cast<std::size_t>(m.num_pes()), nullptr);
   node_shm_.resize(static_cast<std::size_t>(m.options().nodes()));
@@ -509,7 +518,13 @@ void UgniLayer::submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
     return;
   }
 
-  if (msg.size <= smsg_cap_) {
+  // Under hotspot load the governor shrinks the eager window for the hot
+  // destination, steering mid-size messages onto the (receiver-paced)
+  // rendezvous path instead of stuffing its SMSG mailboxes.
+  const std::uint32_t eager =
+      governor_ ? governor_->eager_cap(smsg_cap_, m.node_of_pe(dest_pe))
+                : smsg_cap_;
+  if (msg.size <= eager) {
     smsg_send(ctx, s, dest_pe, kTagData, msg.msg, msg.size,
               /*owned_msg=*/msg.msg);
     return;
@@ -616,12 +631,13 @@ void UgniLayer::advance(sim::Context& ctx, converse::Pe& pe) {
   }
 
   if (machine_->options().use_pxshm) pxshm_poll(ctx, pe);
+  if (governor_) drain_deferred_gets(ctx, s);
   flush_backlog(ctx, s);
 }
 
 bool UgniLayer::has_backlog(const converse::Pe& pe) const {
   const auto* s = static_cast<const PeState*>(pe.layer_state());
-  return s && !s->backlog.empty();
+  return s && (!s->backlog.empty() || !s->deferred_gets.empty());
 }
 
 void UgniLayer::handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
@@ -682,9 +698,13 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
         c_registrations_->inc();
       }
       lr.desc = std::make_unique<ugni::gni_post_descriptor_t>();
-      lr.desc->type = ctrl.size < mc.rdma_threshold
-                          ? ugni::GNI_POST_FMA_GET
-                          : ugni::GNI_POST_RDMA_GET;
+      // A hot NIC switches to the offloaded BTE engine earlier, freeing
+      // the CPU to drain completions (stock threshold when flow is off).
+      const std::uint32_t rdma_thr =
+          governor_ ? governor_->rdma_threshold(mc.rdma_threshold, pe.node())
+                    : mc.rdma_threshold;
+      lr.desc->type = ctrl.size < rdma_thr ? ugni::GNI_POST_FMA_GET
+                                           : ugni::GNI_POST_RDMA_GET;
       lr.desc->local_addr = reinterpret_cast<std::uint64_t>(lr.buf);
       lr.desc->local_mem_hndl = lr.local_hndl;
       lr.desc->remote_addr = ctrl.addr;
@@ -692,17 +712,18 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
       lr.desc->length = ctrl.size;
       std::uint64_t rid = s.next_recv_id++;
       lr.desc->post_id = rid;
-
-      ugni::gni_ep_handle_t back = ensure_channel(ctx, s, ctrl.src_pe);
-      detail::post_with_retry(ctx, retry_, back, lr.desc.get(),
-                              lr.desc->type == ugni::GNI_POST_RDMA_GET,
-                              {c_retry_post_, c_retry_escalations_});
-      c_rendezvous_gets_->inc();
-      if (trace::enabled()) {
-        trace::emit(trace::Ev::kRdvGet, ctx.now(), 0, ctrl.src_pe,
-                    ctrl.size);
-      }
       s.recvs.emplace(rid, std::move(lr));
+
+      // AIMD admission: a full window defers the GET (the sender's buffer
+      // stays pinned behind the INIT/ACK protocol, so deferral is safe);
+      // drain_deferred_gets re-admits as completions free slots.
+      if (governor_ &&
+          !governor_->try_acquire(pe.id(), ctrl.src_pe, ctrl.size,
+                                  ctx.now())) {
+        s.deferred_gets.push_back(rid);
+        break;
+      }
+      issue_rendezvous_get(ctx, s, rid);
       break;
     }
     case kTagAck: {
@@ -735,6 +756,35 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
   }
 }
 
+void UgniLayer::issue_rendezvous_get(sim::Context& ctx, PeState& s,
+                                     std::uint64_t rid) {
+  PeState::LargeRecv& lr = s.recvs.at(rid);
+  ugni::gni_ep_handle_t back = ensure_channel(ctx, s, lr.src_pe);
+  detail::post_with_retry(ctx, retry_, back, lr.desc.get(),
+                          lr.desc->type == ugni::GNI_POST_RDMA_GET,
+                          {c_retry_post_, c_retry_escalations_});
+  c_rendezvous_gets_->inc();
+  if (trace::enabled()) {
+    trace::emit(trace::Ev::kRdvGet, ctx.now(), 0, lr.src_pe,
+                static_cast<std::uint32_t>(lr.desc->length));
+  }
+}
+
+void UgniLayer::drain_deferred_gets(sim::Context& ctx, PeState& s) {
+  while (!s.deferred_gets.empty()) {
+    // would_admit first: drain retries must not inflate the stall count
+    // (each deferral already recorded its kInjectionStall at INIT time).
+    if (!governor_->would_admit(s.pe->id())) return;
+    const std::uint64_t rid = s.deferred_gets.front();
+    s.deferred_gets.pop_front();
+    PeState::LargeRecv& lr = s.recvs.at(rid);
+    governor_->try_acquire(s.pe->id(), lr.src_pe,
+                           static_cast<std::uint32_t>(lr.desc->length),
+                           ctx.now());
+    issue_rendezvous_get(ctx, s, rid);
+  }
+}
+
 void UgniLayer::handle_completion(sim::Context& ctx, converse::Pe& pe,
                                   PeState& s,
                                   const ugni::gni_cq_entry_t& ev) {
@@ -744,6 +794,7 @@ void UgniLayer::handle_completion(sim::Context& ctx, converse::Pe& pe,
 
   if (auto it = s.recvs.find(desc->post_id); it != s.recvs.end()) {
     // Our GET finished: ACK the sender, deliver the message (Fig 5).
+    if (governor_) governor_->on_complete(pe.id(), pe.node(), ctx.now());
     PeState::LargeRecv& lr = it->second;
     AckCtrl ack{lr.send_id};
     if (trace::enabled()) {
@@ -763,6 +814,7 @@ void UgniLayer::handle_completion(sim::Context& ctx, converse::Pe& pe,
       it != s.persist_sends.end()) {
     // Persistent PUT landed: notify the receiver, release our buffer
     // (unless the application owns and reuses it, Fig 7a).
+    if (governor_) governor_->on_complete(pe.id(), pe.node(), ctx.now());
     PeState::PersistSend& ps = it->second;
     PeState::PersistTx& tx =
         s.persist_tx.at(static_cast<std::size_t>(ps.tx_index));
@@ -884,6 +936,9 @@ void UgniLayer::persistent_send(sim::Context& ctx, converse::Pe& src,
   detail::post_with_retry(ctx, retry_, ep, ps.desc.get(),
                           ps.desc->type == ugni::GNI_POST_RDMA_PUT,
                           {c_retry_post_, c_retry_escalations_});
+  // Persistent PUTs are latency-critical and never deferred, but they
+  // count against the window so their completions drive AIMD too.
+  if (governor_) governor_->note_post(src.id());
   c_persistent_puts_->inc();
   if (trace::enabled()) {
     trace::emit(trace::Ev::kPersistPut, ctx.now(), 0, tx.dest_pe, size);

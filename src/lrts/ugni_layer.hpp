@@ -31,6 +31,7 @@
 
 #include "converse/machine.hpp"
 #include "fault/retry.hpp"
+#include "flowcontrol/flowcontrol.hpp"
 #include "lrts/layer_stats.hpp"
 #include "lrts/retry_util.hpp"
 #include "mempool/mempool.hpp"
@@ -73,6 +74,11 @@ class UgniLayer final : public converse::MachineLayer {
   /// peers cost of §II-B.
   std::uint64_t total_mailbox_bytes() const;
 
+  /// The injection governor, or nullptr when flow control is disabled.
+  const flowcontrol::InjectionGovernor* governor() const {
+    return governor_.get();
+  }
+
  private:
   struct PeState;
   struct NodeShm;
@@ -102,6 +108,13 @@ class UgniLayer final : public converse::MachineLayer {
                        converse::PersistentHandle handle, std::uint32_t size,
                        void* msg);
 
+  /// Post the (fully prepared) rendezvous GET of one LargeRecv: endpoint
+  /// lookup, descriptor post with retry, counters and trace.
+  void issue_rendezvous_get(sim::Context& ctx, PeState& s, std::uint64_t rid);
+  /// Re-try governor admission for GETs deferred under hotspot load;
+  /// called from advance() as completions free window slots.
+  void drain_deferred_gets(sim::Context& ctx, PeState& s);
+
   void handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
                    int src_inst);
   /// Shared protocol demux for small messages arriving via SMSG or MSGQ.
@@ -120,6 +133,9 @@ class UgniLayer final : public converse::MachineLayer {
   std::vector<std::unique_ptr<NodeShm>> node_shm_;
   std::uint32_t smsg_cap_ = 1024;
   fault::RetryPolicy retry_{};
+  /// AIMD injection pacing + adaptive thresholds; null when flow control
+  /// is off (the hot paths then cost exactly one pointer test).
+  std::unique_ptr<flowcontrol::InjectionGovernor> governor_;
 
   // Hot-path counters, bound to the machine registry in ensure_domain
   // (std::map node addresses are stable, so the pointers stay valid).

@@ -195,7 +195,7 @@ ugni::gni_ep_handle_t MpiComm::ensure_channel(sim::Context& ctx,
   ugni::gni_smsg_attr_t attr;
   // MPI mailboxes are sized for envelopes + small eager payloads.
   attr.msg_maxsize = mc.smsg_max_bytes + 64;
-  attr.mbox_maxcredit = 16;
+  attr.mbox_maxcredit = mc.mpi_mailbox_credits;
 
   ugni::gni_ep_handle_t fwd = nullptr;
   ugni::gni_return_t rc = ugni::GNI_EpCreate(src.nic, src.tx_cq, &fwd);

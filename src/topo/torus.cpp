@@ -78,6 +78,12 @@ int Torus3D::neighbor(int node, int dim, bool positive) const {
 }
 
 std::vector<LinkId> Torus3D::route(int from, int to) const {
+  return route_order(from, to, {0, 1, 2});
+}
+
+std::vector<LinkId> Torus3D::route_order(int from, int to,
+                                         const std::array<int, 3>& order)
+    const {
   std::vector<LinkId> links;
   if (from == to) return links;
   Coord a = coord_of(from);
@@ -86,7 +92,7 @@ std::vector<LinkId> Torus3D::route(int from, int to) const {
   const int deltas[3] = {ring_delta(a.x, b.x, dims_[0]),
                          ring_delta(a.y, b.y, dims_[1]),
                          ring_delta(a.z, b.z, dims_[2])};
-  for (int dim = 0; dim < 3; ++dim) {
+  for (int dim : order) {
     int d = deltas[dim];
     bool positive = d > 0;
     for (int step = 0; step < std::abs(d); ++step) {

@@ -64,6 +64,13 @@ class Torus3D {
   /// sequence of directional links traversed.  Empty when from == to.
   std::vector<LinkId> route(int from, int to) const;
 
+  /// Minimal route correcting dimensions in the given permutation of
+  /// {0, 1, 2}.  Every permutation yields a route of exactly hops(from,
+  /// to) links; route() is route_order with {0, 1, 2}.  Congestion-aware
+  /// adaptive routing picks among these by estimated link load.
+  std::vector<LinkId> route_order(int from, int to,
+                                  const std::array<int, 3>& order) const;
+
   /// Neighbor of `node` along `dim` in direction `positive`.
   int neighbor(int node, int dim, bool positive) const;
 

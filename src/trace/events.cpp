@@ -56,6 +56,10 @@ const char* event_name(Ev type) {
       return "cq_recover";
     case Ev::kAggFlush:
       return "agg_flush";
+    case Ev::kCongestionSample:
+      return "congestion_sample";
+    case Ev::kInjectionStall:
+      return "injection_stall";
   }
   return "unknown";
 }

@@ -53,8 +53,12 @@ enum class Ev : std::uint8_t {
   kCqRecover,       // CQ overrun recovered via GNI_CqErrorRecover
   kAggFlush,        // aggregation batch shipped (size = batch bytes,
                     // peer = destination PE)
+  kCongestionSample,  // EWMA link-load sample (peer = link index,
+                      // size = smoothed load in parts-per-million)
+  kInjectionStall,  // governor deferred a post: AIMD window full
+                    // (peer = destination, size = payload bytes)
 };
-constexpr int kEvCount = static_cast<int>(Ev::kAggFlush) + 1;
+constexpr int kEvCount = static_cast<int>(Ev::kInjectionStall) + 1;
 
 const char* event_name(Ev type);
 

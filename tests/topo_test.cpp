@@ -85,6 +85,46 @@ TEST(Torus, SelfRouteIsEmpty) {
   EXPECT_TRUE(t.route(5, 5).empty());
 }
 
+// Every dimension-order permutation yields a minimal route that walks to
+// the destination — the invariant congestion-aware adaptive routing
+// relies on when it picks among them by estimated link load.
+TEST(Torus, RouteOrderAllPermutationsMinimalAndCorrect) {
+  constexpr std::array<std::array<int, 3>, 6> kOrders = {{{0, 1, 2},
+                                                          {0, 2, 1},
+                                                          {1, 0, 2},
+                                                          {1, 2, 0},
+                                                          {2, 0, 1},
+                                                          {2, 1, 0}}};
+  Torus3D t(4, 3, 5);
+  for (int a = 0; a < t.nodes(); a += 5) {
+    for (int b = 0; b < t.nodes(); b += 3) {
+      for (const auto& order : kOrders) {
+        auto route = t.route_order(a, b, order);
+        EXPECT_EQ(static_cast<int>(route.size()), t.hops(a, b));
+        int cur = a;
+        std::size_t pos = 0;  // dims must be corrected in `order` order
+        for (const auto& link : route) {
+          EXPECT_EQ(link.node, cur);
+          while (pos < 3 && order[pos] != static_cast<int>(link.dim)) ++pos;
+          ASSERT_LT(pos, 3u) << "dim " << int(link.dim)
+                             << " out of permutation order";
+          cur = t.neighbor(cur, link.dim, link.positive);
+        }
+        EXPECT_EQ(cur, b);
+      }
+    }
+  }
+}
+
+TEST(Torus, RouteOrderStockPermutationMatchesRoute) {
+  Torus3D t(4, 4, 2);
+  for (int a = 0; a < t.nodes(); a += 3) {
+    for (int b = 0; b < t.nodes(); b += 5) {
+      EXPECT_EQ(t.route_order(a, b, {0, 1, 2}), t.route(a, b));
+    }
+  }
+}
+
 TEST(Torus, NeighborWrapsBothDirections) {
   Torus3D t(3, 1, 1);
   EXPECT_EQ(t.neighbor(2, 0, true), 0);

@@ -1,36 +1,64 @@
 #!/usr/bin/env bash
-# Lint: no application-facing code may call the deprecated MachineLayer
-# send virtuals.  Everything outside the runtime core (src/converse,
-# src/lrts) must go through the unified path — Machine::submit()/send()/
-# broadcast()/send_persistent() or the Cmi* wrappers — so that every
-# message is eligible for aggregation and the per-layer protocol choice
-# stays behind MachineLayer::submit().
+# Lint: the deprecated MachineLayer send virtuals are GONE.  The
+# `sync_send` / layer-level `send_persistent` shims were deleted from
+# MachineLayer once every caller had moved to the unified
+# Machine::submit()/send()/broadcast() path, so today the symbol
+# `sync_send` must not exist anywhere in the tree — not as a
+# declaration, not as a call, not behind a typedef.  The public
+# Machine::send_persistent API remains; only layer-qualified calls
+# (the old per-layer virtual) are forbidden.
 #
 # Usage: check_deprecated_sends.sh [repo-root]
-# Exits non-zero and prints offending lines if any bench / example / app /
-# test target calls a deprecated send entry point.
+# Exits non-zero and prints offending lines if the dead symbols resurface.
 set -u
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 cd "$root" || exit 2
 
-# The deprecated surface: the old per-layer virtuals.  `sync_send` only
-# exists on MachineLayer (Machine never had it), so any match outside the
-# runtime core is a violation.  Layer-level `send_persistent` was renamed;
-# the public Machine::send_persistent API remains fine, so we only flag
-# explicit layer()-qualified calls.
-pattern='(\.|->)sync_send[[:space:]]*\(|layer\(\)\.send_persistent[[:space:]]*\('
+status=0
 
-violations=$(grep -rEn "$pattern" \
+# 1. `sync_send` is a dead symbol: zero occurrences allowed anywhere
+#    (runtime core included).  Mentioning it in a comment would only
+#    confuse readers about an API that no longer exists, so comments
+#    are not exempt.
+dead=$(grep -rEn '\bsync_send\b' \
     --include='*.cpp' --include='*.hpp' --include='*.h' \
-    bench examples tests src/apps 2>/dev/null)
+    src bench examples tests 2>/dev/null)
+if [ -n "$dead" ]; then
+  echo "error: 'sync_send' was removed from MachineLayer; the symbol" >&2
+  echo "must not reappear (use Machine::submit()/send() or Cmi*):" >&2
+  echo "$dead" >&2
+  status=1
+fi
 
-if [ -n "$violations" ]; then
-  echo "error: deprecated MachineLayer send virtual called outside the" >&2
-  echo "runtime core; use Machine::submit()/send() or the Cmi* API:" >&2
-  echo "$violations" >&2
+# 2. The layer-level send_persistent virtual is equally dead: no code may
+#    invoke send_persistent through a MachineLayer (layer()-qualified).
+#    Machine::send_persistent — the public API used by benches and tests —
+#    is fine and not matched here.
+layer_calls=$(grep -rEn 'layer\(\)(\.|->)send_persistent[[:space:]]*\(' \
+    --include='*.cpp' --include='*.hpp' --include='*.h' \
+    src bench examples tests 2>/dev/null)
+if [ -n "$layer_calls" ]; then
+  echo "error: layer-level send_persistent was removed; call" >&2
+  echo "Machine::send_persistent (persistent channels) instead:" >&2
+  echo "$layer_calls" >&2
+  status=1
+fi
+
+# 3. Belt and braces: MachineLayer itself must not re-grow the virtual.
+#    A declaration would slip past rule 2 (no call site) and rule 1 only
+#    covers sync_send.
+decl=$(grep -En 'virtual[^;]*send_persistent' src/converse/machine.hpp 2>/dev/null)
+if [ -n "$decl" ]; then
+  echo "error: MachineLayer declares a send_persistent virtual again;" >&2
+  echo "the per-layer send surface is submit() only:" >&2
+  echo "$decl" >&2
+  status=1
+fi
+
+if [ "$status" -ne 0 ]; then
   exit 1
 fi
 
-echo "check_deprecated_sends: OK (no deprecated send calls outside src/converse + src/lrts)"
+echo "check_deprecated_sends: OK (deprecated send symbols absent from the tree)"
 exit 0
