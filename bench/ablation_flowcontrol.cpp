@@ -24,6 +24,7 @@
 #include "bench_util.hpp"
 #include "converse/machine.hpp"
 #include "lrts/runtime.hpp"
+#include "trace/metrics.hpp"
 
 using namespace ugnirt;
 
@@ -53,14 +54,6 @@ struct LegResult {
   std::uint64_t reroutes = 0;
 };
 
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const std::size_t idx =
-      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
-  return v[idx];
-}
-
 /// One-to-all burst from PE 0 (kRounds x 16 KiB to every remote PE),
 /// optionally under background load hammering PE 0's +x neighbor.
 /// Returns delivery-latency stats of the one-to-all messages plus the
@@ -69,14 +62,16 @@ LegResult run_leg(bool flow_on, bool hotspot,
                   const char* link_csv_name = nullptr) {
   auto m =
       lrts::make_machine(converse::LayerKind::kUgni, leg_options(flow_on));
-  std::vector<double> lat_us;
-  lat_us.reserve(static_cast<std::size_t>(kRounds) * (kPes - 1));
+  // Log-bucketed histogram (trace::Histogram): constant memory for any
+  // message count and the same p99 estimator the span layer reports, so
+  // bench numbers and BENCH_*.json stay directly comparable.
+  trace::Histogram lat_us;
 
   int h_measured = m->register_handler([&](void* msg) {
     SimTime sent;
     std::memcpy(&sent, converse::payload_of(msg), sizeof(sent));
     const SimTime now = static_cast<SimTime>(converse::CmiWallTimer() * 1e9);
-    lat_us.push_back(static_cast<double>(now - sent) / 1000.0);
+    lat_us.add(static_cast<double>(now - sent) / 1000.0);
     converse::CmiFree(msg);
   });
   int h_bg = m->register_handler([](void* msg) { converse::CmiFree(msg); });
@@ -114,10 +109,8 @@ LegResult run_leg(bool flow_on, bool hotspot,
   m->run();
 
   LegResult res;
-  res.p99_us = percentile(lat_us, 0.99);
-  double sum = 0;
-  for (double v : lat_us) sum += v;
-  res.mean_us = lat_us.empty() ? 0 : sum / static_cast<double>(lat_us.size());
+  res.p99_us = lat_us.p99();
+  res.mean_us = lat_us.count() ? lat_us.mean() : 0;
   const auto& net = m->network();
   for (std::size_t i = 0; i < net.torus().total_links(); ++i) {
     res.link_waits += net.link_schedule(i).waits();

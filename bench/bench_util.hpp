@@ -3,6 +3,8 @@
 // Every binary prints a human-readable table shaped like the paper's plot
 // (one row per x-value, one column per curve) and, when UGNIRT_CSV=1,
 // additionally writes `<bench>.csv` next to the working directory.
+// UGNIRT_JSON=1 additionally writes `<bench>.json` (same rows, keyed by
+// column label) for machine consumers such as tools/bench_report.py.
 #pragma once
 
 #include <cstdio>
@@ -19,6 +21,18 @@ namespace ugnirt::benchtool {
 inline bool csv_enabled() {
   const char* v = std::getenv("UGNIRT_CSV");
   return v && v[0] == '1';
+}
+
+inline bool json_enabled() {
+  const char* v = std::getenv("UGNIRT_JSON");
+  return v && v[0] == '1';
+}
+
+inline void json_escape_to(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
 }
 
 /// Column-oriented result table; prints aligned text and optional CSV.
@@ -50,6 +64,36 @@ class Table {
     }
     std::printf("\n");
     if (csv_enabled()) write_csv();
+    if (json_enabled()) write_json(name_ + ".json");
+  }
+
+  /// Machine-readable dump: one object per row, values keyed by column
+  /// label.  `{"name": ..., "x_label": ..., "rows": [{"x": "32", "values":
+  /// {"col": 1.25, ...}}, ...]}`.
+  void write_json(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\"name\":\"";
+    json_escape_to(out, name_);
+    out << "\",\"x_label\":\"";
+    json_escape_to(out, x_label_);
+    out << "\",\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r) out << ',';
+      out << "{\"x\":\"";
+      json_escape_to(out, rows_[r].x);
+      out << "\",\"values\":{";
+      for (std::size_t c = 0;
+           c < rows_[r].values.size() && c < columns_.size(); ++c) {
+        if (c) out << ',';
+        out << '"';
+        json_escape_to(out, columns_[c]);
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", rows_[r].values[c]);
+        out << "\":" << buf;
+      }
+      out << "}}";
+    }
+    out << "]}\n";
   }
 
  private:

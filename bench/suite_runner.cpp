@@ -1,0 +1,260 @@
+// Machine-readable benchmark suite for regression tracking.
+//
+// Runs the core paper scenarios (ping-pong, bandwidth, one-to-all,
+// kNeighbor, small-message flood) plus a kNeighbor PE-count sweep
+// (1k -> 16k PEs) and writes two JSON files for tools/bench_report.py:
+//
+//   BENCH_core.json   one metrics object (latency/bandwidth/throughput and
+//                     per-stage span percentiles of an instrumented
+//                     ping-pong)
+//   BENCH_scale.json  one metrics object per sweep point (virtual elapsed,
+//                     msgs/sec, simulator events/sec, SMSG mailbox
+//                     bytes/PE)
+//
+// Every metric carries a "better" direction ("lower" / "higher" / "info");
+// the comparator gates on the first two and reports the rest.  Virtual-time
+// results are deterministic, so the committed baselines are exact; wall-
+// clock numbers are machine-dependent and always informational.
+//
+// Usage: suite_runner [core|scale|all]   (default: all)
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/microbench/microbench.hpp"
+#include "bench_util.hpp"
+#include "converse/machine.hpp"
+#include "lrts/runtime.hpp"
+#include "lrts/ugni_layer.hpp"
+#include "trace/metrics.hpp"
+#include "trace/spans.hpp"
+
+using namespace ugnirt;
+
+namespace {
+
+struct Metric {
+  std::string name;
+  double value = 0;
+  std::string unit;
+  const char* better = "lower";  // "lower" | "higher" | "info"
+};
+
+void write_metrics(std::ostream& out, const std::vector<Metric>& ms,
+                   const char* indent) {
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", ms[i].value);
+    out << indent << '"';
+    benchtool::json_escape_to(out, ms[i].name);
+    out << "\": {\"value\": " << buf << ", \"unit\": \"" << ms[i].unit
+        << "\", \"better\": \"" << ms[i].better << "\"}";
+    if (i + 1 < ms.size()) out << ',';
+    out << '\n';
+  }
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+converse::MachineOptions ugni_options(int pes = 2) {
+  converse::MachineOptions o;
+  o.layer = converse::LayerKind::kUgni;
+  o.pes = pes;
+  o.pes_per_node = 1;  // all traffic crosses the NIC (one-to-all needs
+                       // remote nodes; keeps every scenario apples-to-apples)
+  return o;
+}
+
+// ---- core suite ---------------------------------------------------------
+
+/// Run `fn` with every submit sampled into a private SpanCollector and
+/// append `<prefix>.<stage>.{p50,p99}_ns` metrics for each stage that saw
+/// traffic, plus the end-to-end total.
+template <typename Fn>
+void with_span_metrics(const std::string& prefix, std::vector<Metric>& out,
+                       Fn&& fn) {
+  trace::SpanCollector col(trace::SpanConfig{/*sample=*/1});
+  trace::set_span_collector(&col);
+  fn();
+  trace::set_span_collector(nullptr);
+
+  trace::MetricsRegistry reg;
+  col.fill_histograms(reg);
+  for (int s = 0; s < trace::kStageCount; ++s) {
+    const char* name = trace::stage_name(static_cast<trace::Stage>(s));
+    const trace::Histogram* h =
+        reg.find_histogram(std::string("span.stage.") + name);
+    if (!h || h->count() == 0) continue;
+    out.push_back({prefix + "." + name + ".p50_ns", h->p50(), "ns", "lower"});
+    out.push_back({prefix + "." + name + ".p99_ns", h->p99(), "ns", "lower"});
+  }
+  if (const trace::Histogram* t = reg.find_histogram("span.total_ns")) {
+    if (t->count() > 0) {
+      out.push_back({prefix + ".total.p50_ns", t->p50(), "ns", "lower"});
+      out.push_back({prefix + ".total.p99_ns", t->p99(), "ns", "lower"});
+    }
+  }
+}
+
+std::vector<Metric> run_core() {
+  std::vector<Metric> ms;
+
+  apps::bench::PingPongOptions small;
+  small.payload = 8;
+  ms.push_back({"pingpong_8b_ns",
+                static_cast<double>(
+                    apps::bench::charm_pingpong(ugni_options(), small)),
+                "ns", "lower"});
+
+  apps::bench::PingPongOptions large;
+  large.payload = 64 * 1024;
+  ms.push_back({"pingpong_64k_ns",
+                static_cast<double>(
+                    apps::bench::charm_pingpong(ugni_options(), large)),
+                "ns", "lower"});
+
+  ms.push_back({"bandwidth_1m_mbps",
+                apps::bench::charm_bandwidth(ugni_options(), 1024 * 1024),
+                "MB/s", "higher"});
+
+  ms.push_back({"onetoall_1k_ns",
+                static_cast<double>(apps::bench::charm_onetoall(
+                    ugni_options(16), 1024)),
+                "ns", "lower"});
+
+  ms.push_back({"kneighbor_1k_ns",
+                static_cast<double>(apps::bench::charm_kneighbor(
+                    ugni_options(16), 1024)),
+                "ns", "lower"});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  apps::bench::KNeighborFloodResult flood =
+      apps::bench::charm_kneighbor_flood(ugni_options(16), 64);
+  const double flood_wall = wall_ms_since(t0);
+  ms.push_back({"flood_msgs_per_sec", flood.msgs_per_sec, "msgs/s",
+                "higher"});
+  ms.push_back({"flood_wall_ms", flood_wall, "ms", "info"});
+  ms.push_back(
+      {"flood_sim_msgs_per_wall_sec",
+       flood_wall > 0
+           ? static_cast<double>(flood.messages) / (flood_wall / 1000.0)
+           : 0,
+       "msgs/s", "info"});
+
+  // Per-stage critical path of a small-message ping-pong, every message
+  // sampled (paper Fig 6's question, asked of the simulator itself).
+  with_span_metrics("pingpong_span", ms, [] {
+    apps::bench::PingPongOptions pp;
+    pp.payload = 8;
+    apps::bench::charm_pingpong(ugni_options(), pp);
+  });
+
+  return ms;
+}
+
+// ---- scale sweep --------------------------------------------------------
+
+/// Ring exchange at `pes` PEs: every PE fires `kBurst` 1 KiB messages at
+/// each ring neighbor (left and right).  Direct machine build so the sweep
+/// can report simulator events/sec and the layer's mailbox bytes/PE.
+std::vector<Metric> run_scale_point(int pes) {
+  constexpr int kBurst = 4;
+  constexpr std::uint32_t kBytes = 1024;
+
+  converse::MachineOptions o = ugni_options(pes);
+  o.pes_per_node = 1;
+  o.use_pxshm = false;
+  auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
+  int h = m->register_handler([](void* msg) { converse::CmiFree(msg); });
+
+  const std::uint32_t total = kBytes + converse::kCmiHeaderBytes;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int pe = 0; pe < pes; ++pe) {
+    m->start(pe, [&m, pe, pes, h, total] {
+      const int left = (pe + pes - 1) % pes;
+      const int right = (pe + 1) % pes;
+      for (int i = 0; i < kBurst; ++i) {
+        for (int dest : {left, right}) {
+          void* msg = converse::CmiAlloc(total);
+          converse::CmiSetHandler(msg, h);
+          converse::CmiSyncSendAndFree(dest, total, msg);
+        }
+      }
+    });
+  }
+  m->run();
+  const double wall = wall_ms_since(t0);
+
+  const double elapsed_ns = static_cast<double>(m->engine().now());
+  const double events = static_cast<double>(m->engine().executed());
+  const std::uint64_t msgs =
+      static_cast<std::uint64_t>(pes) * 2 * kBurst;
+  auto* layer = dynamic_cast<lrts::UgniLayer*>(&m->layer());
+  const double mailbox_per_pe =
+      layer ? static_cast<double>(layer->total_mailbox_bytes()) / pes : 0;
+
+  std::vector<Metric> ms;
+  ms.push_back({"elapsed_ns", elapsed_ns, "ns", "lower"});
+  ms.push_back({"msgs_per_sec",
+                elapsed_ns > 0
+                    ? static_cast<double>(msgs) / (elapsed_ns * 1e-9)
+                    : 0,
+                "msgs/s", "higher"});
+  ms.push_back({"mailbox_bytes_per_pe", mailbox_per_pe, "B", "lower"});
+  ms.push_back({"sim_events", events, "events", "info"});
+  ms.push_back({"wall_ms", wall, "ms", "info"});
+  ms.push_back({"sim_events_per_wall_sec",
+                wall > 0 ? events / (wall / 1000.0) : 0, "events/s",
+                "info"});
+  return ms;
+}
+
+// ---- output -------------------------------------------------------------
+
+void write_core(const char* path) {
+  std::vector<Metric> ms = run_core();
+  std::ofstream out(path);
+  out << "{\n  \"suite\": \"core\",\n  \"schema\": 1,\n  \"metrics\": {\n";
+  write_metrics(out, ms, "    ");
+  out << "  }\n}\n";
+  std::printf("wrote %s (%zu metrics)\n", path, ms.size());
+}
+
+void write_scale(const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"suite\": \"scale\",\n  \"schema\": 1,\n  \"sweep\": [\n";
+  const std::array<int, 5> kPes = {1024, 2048, 4096, 8192, 16384};
+  for (std::size_t i = 0; i < kPes.size(); ++i) {
+    std::vector<Metric> ms = run_scale_point(kPes[i]);
+    out << "    {\"pes\": " << kPes[i] << ", \"metrics\": {\n";
+    write_metrics(out, ms, "      ");
+    out << "    }}";
+    if (i + 1 < kPes.size()) out << ',';
+    out << '\n';
+    std::printf("scale: %d PEs done\n", kPes[i]);
+    std::fflush(stdout);
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "all";
+  if (which == "core" || which == "all") write_core("BENCH_core.json");
+  if (which == "scale" || which == "all") write_scale("BENCH_scale.json");
+  if (which != "core" && which != "scale" && which != "all") {
+    std::fprintf(stderr, "usage: suite_runner [core|scale|all]\n");
+    return 2;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "converse/message.hpp"
 #include "trace/events.hpp"
 #include "trace/metrics.hpp"
+#include "trace/spans.hpp"
 
 namespace ugnirt::aggregation {
 
@@ -140,6 +141,10 @@ bool Aggregator::enqueue(sim::Context& ctx, converse::Pe& src, int dest_pe,
   const auto& mc = machine_.options().mc;
   ctx.charge(mc.memcpy_cost(len) - mc.memcpy_base_ns);
   c_batched_->inc();
+  if (trace::spans_enabled() && h->span_id != 0) {
+    trace::span_mark(h->span_id, trace::Stage::kAggEnqueue, src.id(),
+                     ctx.now());
+  }
   if (!(h->flags & converse::kMsgFlagNoFree)) {
     machine_.layer().free_msg(ctx, src, msg);
   }
@@ -170,6 +175,18 @@ void Aggregator::ship(sim::Context& ctx, converse::Pe& src, int dest_pe,
   s_flush_bytes_->add(static_cast<double>(bh->size));
   if (trace::enabled()) {
     trace::emit(trace::Ev::kAggFlush, ctx.now(), 0, dest_pe, bh->size);
+  }
+  if (trace::spans_enabled()) {
+    // Sampled sub-messages ride inside the frame with their span ids in
+    // their packed envelopes; stamp the flush instant on each.
+    for_each_submessage(converse::payload_of(buf.msg), buf.writer->bytes(),
+                        [&](const void* sub, std::uint32_t) {
+                          const std::uint32_t sid = header_of(sub)->span_id;
+                          if (sid != 0) {
+                            trace::span_mark(sid, trace::Stage::kAggFlush,
+                                             src.id(), ctx.now());
+                          }
+                        });
   }
 
   converse::SendOptions opts;

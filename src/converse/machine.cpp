@@ -10,6 +10,7 @@
 #include "flowcontrol/flowcontrol.hpp"
 #include "trace/events.hpp"
 #include "trace/session.hpp"
+#include "trace/spans.hpp"
 #include "trace/tracer.hpp"
 
 namespace ugnirt::converse {
@@ -243,6 +244,13 @@ void Machine::submit(int dest_pe, void* msg, const SendOptions& opts) {
   Pe& src = current_pe();
   CmiMsgHeader* h = header_of(msg);
   h->src_pe = src.id();
+  if (trace::spans_enabled()) {
+    // Every submit starts a fresh journey: a relayed message (batch
+    // sub-message, forwarded broadcast leg) gets its own span rather than
+    // extending one that already completed at delivery.
+    h->span_id = trace::span_begin(src.id(), dest_pe, h->size,
+                                   src.ctx().now());
+  }
   if (!(h->flags & kMsgFlagSystem)) {
     ++qd_created_[static_cast<std::size_t>(src.id())];
   }
@@ -369,6 +377,10 @@ void Machine::dispatch(Pe& pe, void* msg) {
           CmiMsgHeader* sh = header_of(smsg);
           sh->flags |= kMsgFlagNoFree;
           pe.ctx().charge(options_.mc.agg_item_overhead_ns);
+          if (trace::spans_enabled() && sh->span_id != 0) {
+            trace::span_mark(sh->span_id, trace::Stage::kDeliver, pe.id(),
+                             pe.ctx().now());
+          }
           if ((sh->flags & kMsgFlagBcast) &&
               static_cast<int>(sh->bcast_root) != pe.id()) {
             forward_broadcast(pe, smsg);
@@ -393,6 +405,10 @@ void Machine::dispatch(Pe& pe, void* msg) {
     ++qd_processed_[static_cast<std::size_t>(pe.id())];
   }
   pe.ctx().charge(options_.mc.charm_recv_overhead_ns);
+  if (trace::spans_enabled() && h->span_id != 0) {
+    trace::span_mark(h->span_id, trace::Stage::kDeliver, pe.id(),
+                     pe.ctx().now());
+  }
   assert(h->handler < handlers_.size());
   handlers_[h->handler](msg);
 }

@@ -28,7 +28,8 @@ struct CmiMsgHeader {
   std::int32_t src_pe = -1;     // logical sender
   std::int32_t alloc_pe = -1;   // PE whose allocator owns this buffer
   std::uint32_t bcast_root = 0; // spanning-tree root for broadcasts
-  std::uint32_t reserved = 0;
+  std::uint32_t span_id = 0;    // lifecycle-span id (0 = unsampled); rides
+                                // the envelope so it survives memcpy hops
 };
 
 static_assert(sizeof(CmiMsgHeader) == 24, "envelope layout is part of ABI");

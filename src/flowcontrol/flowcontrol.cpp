@@ -103,13 +103,18 @@ void CongestionEstimator::on_link_reserve(std::size_t link,
   nl += a * (sample - nl);
   ++samples_;
   if (nl >= cfg_.hot_threshold) ++hot_samples_;
-  if (trace::enabled() &&
-      now - last_sample_[link] >= cfg_.sample_period_ns) {
-    last_sample_[link] = now;
-    // size carries the smoothed load in parts-per-million, peer the link.
-    trace::emit(trace::Ev::kCongestionSample, now, 0,
-                static_cast<int>(link),
-                static_cast<std::uint32_t>(ll * 1e6));
+  if (trace::enabled()) {
+    if (now - last_sample_[link] >= cfg_.sample_period_ns) {
+      last_sample_[link] = now;
+      // size carries the smoothed load in parts-per-million, peer the link.
+      trace::emit(trace::Ev::kCongestionSample, now, 0,
+                  static_cast<int>(link),
+                  static_cast<std::uint32_t>(ll * 1e6));
+    } else {
+      // Suppressed by the per-link sample period: record the drop so the
+      // exported sample stream is never mistaken for the full load signal.
+      trace::tracer()->note_rate_limited(trace::Ev::kCongestionSample);
+    }
   }
 }
 

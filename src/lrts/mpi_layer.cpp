@@ -4,6 +4,9 @@
 #include <cstring>
 #include <deque>
 
+#include "lrts/span_marks.hpp"
+#include "trace/spans.hpp"
+
 namespace ugnirt::lrts {
 
 using converse::header_of;
@@ -73,6 +76,9 @@ void MpiLayer::submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
   PeState& s = state(src);
   auto req = std::make_unique<mpilite::Request>();
   comm_->isend(src.id(), dest_pe, kCharmTag, mv.msg, mv.size, req.get());
+  if (trace::spans_enabled()) {
+    mark_msg_spans(mv.msg, trace::Stage::kTransportPost, src.id(), ctx.now());
+  }
   if (req->done) {
     // Buffered (eager / shm): MPI copied what it needs.
     free_msg(ctx, src, mv.msg);
@@ -116,6 +122,12 @@ void MpiLayer::advance(sim::Context& ctx, converse::Pe& pe) {
     converse::CmiMsgHeader* h = header_of(buf);
     h->alloc_pe = pe.id();
     (void)mc;
+    if (trace::spans_enabled()) {
+      // MPI surfaces the message only at receive time, so wire arrival and
+      // completion coincide here.
+      mark_msg_spans(buf, trace::Stage::kRxArrive, pe.id(), ctx.now());
+      mark_msg_spans(buf, trace::Stage::kCqComplete, pe.id(), ctx.now());
+    }
     pe.enqueue(buf, ctx.now());
   }
 }

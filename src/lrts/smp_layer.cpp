@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "lrts/span_marks.hpp"
 #include "trace/events.hpp"
+#include "trace/spans.hpp"
 #include "util/log.hpp"
 
 namespace ugnirt::lrts {
@@ -478,6 +480,10 @@ void SmpLayer::comm_send(sim::Context& ctx, NodeState& n, int dest_pe,
           ep, wire.data(), static_cast<std::uint32_t>(wire.size()), nullptr,
           0, 0, tag);
       if (rc == ugni::GNI_RC_SUCCESS) {
+        if (trace::spans_enabled()) {
+          // -1: the node's comm thread posts, not a worker PE.
+          mark_msg_spans(bytes, trace::Stage::kTransportPost, -1, ctx.now());
+        }
         if (owned_msg && n.pool && n.pool->owns(owned_msg)) {
           n.pool->free(owned_msg);
         } else if (owned_msg) {
@@ -564,6 +570,12 @@ void SmpLayer::comm_flush(sim::Context& ctx, NodeState& n) {
       return;
     }
     n.backlog_attempts = 0;
+    if (p.tag == kTagData && trace::spans_enabled()) {
+      // Wire bytes carry the 4-byte worker-routing prefix before the
+      // envelope (see comm_send).
+      mark_msg_spans(p.ctrl.data() + 4, trace::Stage::kTransportPost, -1,
+                     ctx.now());
+    }
     if (p.msg) {
       if (n.pool && n.pool->owns(p.msg)) {
         n.pool->free(p.msg);
@@ -579,6 +591,9 @@ void SmpLayer::deliver_to_worker(NodeState& n, int pe, void* msg,
                                  SimTime t) {
   (void)n;
   header_of(msg)->alloc_pe = pe;
+  if (trace::spans_enabled()) {
+    mark_msg_spans(msg, trace::Stage::kCqComplete, pe, t);
+  }
   machine_->pe(pe).enqueue(msg, t);
 }
 
@@ -588,7 +603,9 @@ void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
   ugni::gni_ep_handle_t ep = n.eps.at(src_inst);
   void* data = nullptr;
   std::uint8_t tag = 0;
-  if (ugni::GNI_SmsgGetNextWTag(ep, &data, &tag) != ugni::GNI_RC_SUCCESS) {
+  SimTime arrival = ctx.now();
+  if (ugni::GNI_SmsgGetNextWTag(ep, &data, &tag, &arrival) !=
+      ugni::GNI_RC_SUCCESS) {
     return;
   }
   switch (tag) {
@@ -610,6 +627,9 @@ void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
       }
       ctx.charge(mc.memcpy_cost(size));
       std::memcpy(buf, static_cast<std::uint8_t*>(data) + 4, size);
+      if (trace::spans_enabled()) {
+        mark_msg_spans(buf, trace::Stage::kRxArrive, dest_pe, arrival);
+      }
       deliver_to_worker(n, dest_pe, buf, ctx.now());
       break;
     }

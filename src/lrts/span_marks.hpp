@@ -1,0 +1,34 @@
+// Batch-aware span stamping shared by the machine layers.
+//
+// A message handed to a layer is either a plain Converse envelope or an
+// aggregation batch (kMsgFlagAggBatch) whose payload packs many envelopes;
+// sampled sub-messages keep their span ids inside the packed frames, so a
+// transport-level event (post, wire arrival, completion) must fan the stamp
+// out to every rider.  Callers gate on trace::spans_enabled() so the
+// disabled path costs one inline pointer test.
+#pragma once
+
+#include "aggregation/frame.hpp"
+#include "converse/message.hpp"
+#include "sim/engine.hpp"
+#include "trace/spans.hpp"
+
+namespace ugnirt::lrts {
+
+inline void mark_msg_spans(const void* msg, trace::Stage stage, int pe,
+                           SimTime t) {
+  const converse::CmiMsgHeader* h = converse::header_of(msg);
+  if (h->flags & converse::kMsgFlagAggBatch) {
+    aggregation::for_each_submessage(
+        converse::payload_of(msg),
+        h->size - static_cast<std::uint32_t>(converse::kCmiHeaderBytes),
+        [&](const void* sub, std::uint32_t) {
+          const std::uint32_t sid = converse::header_of(sub)->span_id;
+          if (sid != 0) trace::span_mark(sid, stage, pe, t);
+        });
+    return;
+  }
+  if (h->span_id != 0) trace::span_mark(h->span_id, stage, pe, t);
+}
+
+}  // namespace ugnirt::lrts

@@ -3,7 +3,10 @@
 #include <cassert>
 #include <cstring>
 
+#include "aggregation/frame.hpp"
+#include "lrts/span_marks.hpp"
 #include "trace/events.hpp"
+#include "trace/spans.hpp"
 #include "ugni/msgq.hpp"
 #include "util/log.hpp"
 
@@ -33,6 +36,7 @@ struct InitCtrl {
   ugni::gni_mem_handle_t hndl{};
   std::uint32_t size = 0;
   std::int32_t src_pe = -1;
+  std::uint32_t span = 0;  // lifecycle-span id of the payload message
 };
 
 struct AckCtrl {
@@ -76,6 +80,7 @@ struct UgniLayer::PeState final : converse::LayerPeState {
     std::unique_ptr<ugni::gni_post_descriptor_t> desc;
     std::uint64_t send_id = 0;
     std::int32_t src_pe = -1;
+    std::uint32_t span = 0;  // lifecycle-span id from the INIT control
     bool registered = false;
     ugni::gni_mem_handle_t local_hndl{};
   };
@@ -387,7 +392,13 @@ void UgniLayer::smsg_send(sim::Context& ctx, PeState& src, int dest_pe,
             : ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, tag);
     if (rc == ugni::GNI_RC_SUCCESS) {
       c_smsg_sends_->inc();
-      if (owned_msg) free_msg(ctx, *src.pe, owned_msg);
+      if (owned_msg) {
+        if (trace::spans_enabled()) {
+          mark_msg_spans(owned_msg, trace::Stage::kTransportPost,
+                         src.pe->id(), ctx.now());
+        }
+        free_msg(ctx, *src.pe, owned_msg);
+      }
       return;
     }
     // NOT_DONE: out of credits or a starvation window; ERROR_RESOURCE: an
@@ -473,7 +484,13 @@ void UgniLayer::flush_backlog(sim::Context& ctx, PeState& s) {
     }
     s.backlog_attempts = 0;
     c_smsg_sends_->inc();
-    if (p.msg) free_msg(ctx, *s.pe, p.msg);
+    if (p.msg) {
+      if (trace::spans_enabled()) {
+        mark_msg_spans(p.msg, trace::Stage::kTransportPost, s.pe->id(),
+                       ctx.now());
+      }
+      free_msg(ctx, *s.pe, p.msg);
+    }
     s.backlog.pop_front();
   }
 }
@@ -577,6 +594,7 @@ void UgniLayer::begin_rendezvous(sim::Context& ctx, PeState& s, int dest_pe,
   ctrl.hndl = ls.hndl;
   ctrl.size = size;
   ctrl.src_pe = s.pe->id();
+  ctrl.span = header_of(msg)->span_id;
   smsg_send(ctx, s, dest_pe, kTagInit, &ctrl, sizeof(ctrl), nullptr);
 }
 
@@ -612,7 +630,7 @@ void UgniLayer::advance(sim::Context& ctx, converse::Pe& pe) {
       ugni::gni_return_t rc =
           ugni::GNI_MsgqProgress(s.msgq, &data, &len, &tag, &source);
       if (rc != ugni::GNI_RC_SUCCESS) break;
-      handle_protocol_msg(ctx, pe, s, tag, data);
+      handle_protocol_msg(ctx, pe, s, tag, data, ctx.now());
     }
   }
 
@@ -645,21 +663,29 @@ void UgniLayer::handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
   ugni::gni_ep_handle_t ep = s.eps.at(src_inst);
   void* data = nullptr;
   std::uint8_t tag = 0;
-  ugni::gni_return_t rc = ugni::GNI_SmsgGetNextWTag(ep, &data, &tag);
+  SimTime arrival = ctx.now();
+  ugni::gni_return_t rc = ugni::GNI_SmsgGetNextWTag(ep, &data, &tag,
+                                                    &arrival);
   if (rc != ugni::GNI_RC_SUCCESS) return;
-  handle_protocol_msg(ctx, pe, s, tag, data);
+  handle_protocol_msg(ctx, pe, s, tag, data, arrival);
   ugni::GNI_SmsgRelease(ep);
 }
 
 void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
                                     PeState& s, std::uint8_t tag,
-                                    const void* data) {
+                                    const void* data, SimTime arrival) {
   const auto& mc = machine_->options().mc;
   switch (tag) {
     case kTagData: {
       // Copy out of the mailbox/queue slot into a runtime buffer.
       const CmiMsgHeader* h = header_of(data);
       std::uint32_t size = h->size;
+      if (trace::spans_enabled()) {
+        // rx_arrive at the wire-arrival instant, cq_complete now: the gap
+        // is how long the event waited for this PE to poll its CQ.
+        mark_msg_spans(data, trace::Stage::kRxArrive, pe.id(), arrival);
+        mark_msg_spans(data, trace::Stage::kCqComplete, pe.id(), ctx.now());
+      }
       void* buf = alloc(ctx, pe, size);
       ctx.charge(mc.memcpy_cost(size));
       std::memcpy(buf, data, size);
@@ -670,10 +696,15 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
     case kTagInit: {
       InitCtrl ctrl;
       std::memcpy(&ctrl, data, sizeof(ctrl));
+      if (trace::spans_enabled() && ctrl.span != 0) {
+        trace::span_mark(ctrl.span, trace::Stage::kRxArrive, pe.id(),
+                         arrival);
+      }
 
       PeState::LargeRecv lr;
       lr.send_id = ctrl.send_id;
       lr.src_pe = ctrl.src_pe;
+      lr.span = ctrl.span;
       void* pooled = s.pool ? s.pool->alloc(ctrl.size) : nullptr;
       if (pooled) {
         lr.buf = pooled;
@@ -720,8 +751,16 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
       if (governor_ &&
           !governor_->try_acquire(pe.id(), ctrl.src_pe, ctrl.size,
                                   ctx.now())) {
+        if (trace::spans_enabled() && ctrl.span != 0) {
+          trace::span_mark(ctrl.span, trace::Stage::kGovDefer, pe.id(),
+                           ctx.now());
+        }
         s.deferred_gets.push_back(rid);
         break;
+      }
+      if (governor_ && trace::spans_enabled() && ctrl.span != 0) {
+        trace::span_mark(ctrl.span, trace::Stage::kGovAdmit, pe.id(),
+                         ctx.now());
       }
       issue_rendezvous_get(ctx, s, rid);
       break;
@@ -748,6 +787,12 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
       CmiMsgHeader* h = header_of(rx.buf);
       h->flags |= kMsgFlagNoFree;
       h->alloc_pe = pe.id();
+      if (trace::spans_enabled() && h->span_id != 0) {
+        // The PUT copied the whole envelope into the landing buffer, so
+        // the sampled span id arrived with the data.
+        trace::span_mark(h->span_id, trace::Stage::kRxArrive, pe.id(),
+                         arrival);
+      }
       pe.enqueue(rx.buf, ctx.now());
       break;
     }
@@ -768,6 +813,10 @@ void UgniLayer::issue_rendezvous_get(sim::Context& ctx, PeState& s,
     trace::emit(trace::Ev::kRdvGet, ctx.now(), 0, lr.src_pe,
                 static_cast<std::uint32_t>(lr.desc->length));
   }
+  if (trace::spans_enabled() && lr.span != 0) {
+    trace::span_mark(lr.span, trace::Stage::kTransportPost, s.pe->id(),
+                     ctx.now());
+  }
 }
 
 void UgniLayer::drain_deferred_gets(sim::Context& ctx, PeState& s) {
@@ -781,6 +830,10 @@ void UgniLayer::drain_deferred_gets(sim::Context& ctx, PeState& s) {
     governor_->try_acquire(s.pe->id(), lr.src_pe,
                            static_cast<std::uint32_t>(lr.desc->length),
                            ctx.now());
+    if (trace::spans_enabled() && lr.span != 0) {
+      trace::span_mark(lr.span, trace::Stage::kGovAdmit, s.pe->id(),
+                       ctx.now());
+    }
     issue_rendezvous_get(ctx, s, rid);
   }
 }
@@ -796,6 +849,10 @@ void UgniLayer::handle_completion(sim::Context& ctx, converse::Pe& pe,
     // Our GET finished: ACK the sender, deliver the message (Fig 5).
     if (governor_) governor_->on_complete(pe.id(), pe.node(), ctx.now());
     PeState::LargeRecv& lr = it->second;
+    if (trace::spans_enabled() && lr.span != 0) {
+      trace::span_mark(lr.span, trace::Stage::kCqComplete, pe.id(),
+                       ctx.now());
+    }
     AckCtrl ack{lr.send_id};
     if (trace::enabled()) {
       trace::emit(trace::Ev::kRdvAck, ctx.now(), 0, lr.src_pe,
@@ -816,6 +873,9 @@ void UgniLayer::handle_completion(sim::Context& ctx, converse::Pe& pe,
     // (unless the application owns and reuses it, Fig 7a).
     if (governor_) governor_->on_complete(pe.id(), pe.node(), ctx.now());
     PeState::PersistSend& ps = it->second;
+    if (trace::spans_enabled()) {
+      mark_msg_spans(ps.msg, trace::Stage::kCqComplete, pe.id(), ctx.now());
+    }
     PeState::PersistTx& tx =
         s.persist_tx.at(static_cast<std::size_t>(ps.tx_index));
     PersistCtrl pc;
@@ -943,6 +1003,9 @@ void UgniLayer::persistent_send(sim::Context& ctx, converse::Pe& src,
   if (trace::enabled()) {
     trace::emit(trace::Ev::kPersistPut, ctx.now(), 0, tx.dest_pe, size);
   }
+  if (trace::spans_enabled()) {
+    mark_msg_spans(msg, trace::Stage::kTransportPost, src.id(), ctx.now());
+  }
   s.persist_sends.emplace(pid, std::move(ps));
 }
 
@@ -962,6 +1025,9 @@ void UgniLayer::pxshm_send(sim::Context& ctx, converse::Pe& src, int dest_pe,
   c_pxshm_msgs_->inc();
   if (trace::enabled()) {
     trace::emit(trace::Ev::kPxshmEnq, ctx.now(), 0, dest_pe, size);
+  }
+  if (trace::spans_enabled()) {
+    mark_msg_spans(msg, trace::Stage::kTransportPost, src.id(), ctx.now());
   }
 
   NodeShm::Entry e;
@@ -993,6 +1059,9 @@ void UgniLayer::pxshm_poll(sim::Context& ctx, converse::Pe& pe) {
     if (trace::enabled()) {
       trace::emit(trace::Ev::kPxshmDeq, ctx.now(), 0,
                   header_of(e.msg)->src_pe, e.size);
+    }
+    if (trace::spans_enabled()) {
+      mark_msg_spans(e.msg, trace::Stage::kRxArrive, pe.id(), e.at);
     }
     if (m.options().pxshm_single_copy) {
       // alloc_pe stays the sender: CmiFree routes back to its pool.

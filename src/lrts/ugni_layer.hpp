@@ -118,8 +118,11 @@ class UgniLayer final : public converse::MachineLayer {
   void handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
                    int src_inst);
   /// Shared protocol demux for small messages arriving via SMSG or MSGQ.
+  /// `arrival` is the virtual wire-arrival instant of the control/data
+  /// bytes (== ctx.now() for paths that cannot observe it earlier).
   void handle_protocol_msg(sim::Context& ctx, converse::Pe& pe, PeState& s,
-                           std::uint8_t tag, const void* bytes);
+                           std::uint8_t tag, const void* bytes,
+                           SimTime arrival);
   void handle_completion(sim::Context& ctx, converse::Pe& pe, PeState& s,
                          const ugni::gni_cq_entry_t& ev);
 

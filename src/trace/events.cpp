@@ -80,6 +80,11 @@ void EventTracer::record(int pe, Ev type, SimTime t, SimTime dur, int peer,
   if (it == rings_.end()) {
     it = rings_.emplace(pe, EventRing(ring_capacity_)).first;
   }
+  if (it->second.size() == it->second.capacity()) {
+    // The push below evicts the oldest retained event; account the loss
+    // against that event's kind.
+    ++dropped_by_type_[static_cast<int>(it->second.at(0).type)];
+  }
   Event ev;
   ev.t = t;
   ev.dur = dur;
@@ -141,6 +146,7 @@ void EventTracer::clear() {
   rings_.clear();
   total_events_ = 0;
   for (auto& c : type_counts_) c = 0;
+  for (auto& c : dropped_by_type_) c = 0;
 }
 
 namespace detail {

@@ -105,11 +105,22 @@ class EventTracer {
   void record(int pe, Ev type, SimTime t, SimTime dur = 0, int peer = -1,
               std::uint32_t size = 0);
 
+  /// An emission site suppressed an event before it reached the ring
+  /// (e.g. kCongestionSample under its sample-period rate limit).  Counted
+  /// per kind so capped telemetry is never mistaken for complete telemetry.
+  void note_rate_limited(Ev type) {
+    ++dropped_by_type_[static_cast<int>(type)];
+  }
+
   std::size_t pe_count() const { return rings_.size(); }
   std::uint64_t total_events() const { return total_events_; }
   std::uint64_t total_dropped() const;
   std::uint64_t count_of(Ev type) const {
     return type_counts_[static_cast<int>(type)];
+  }
+  /// Events of this kind lost to ring eviction or rate limiting.
+  std::uint64_t dropped_of(Ev type) const {
+    return dropped_by_type_[static_cast<int>(type)];
   }
   const EventRing* ring(int pe) const;
 
@@ -127,6 +138,7 @@ class EventTracer {
   std::map<int, EventRing> rings_;  // keyed by pe id (sorted for export)
   std::uint64_t total_events_ = 0;
   std::uint64_t type_counts_[kEvCount] = {};
+  std::uint64_t dropped_by_type_[kEvCount] = {};  // evicted + rate-limited
 };
 
 // ---- global installation ----------------------------------------------

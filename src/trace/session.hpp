@@ -1,27 +1,37 @@
 // Process-wide trace session, driven by environment knobs:
 //
-//   UGNIRT_TRACE=1           enable tracing (unset / empty / "0" = off)
-//   UGNIRT_TRACE_FILE=base   output file base (default "ugnirt_trace")
-//   UGNIRT_TRACE_RING=N      per-PE event-ring capacity (default 65536)
+//   UGNIRT_TRACE=1            enable tracing (unset / empty / "0" = off)
+//   UGNIRT_TRACE_FILE=base    output file base (default "ugnirt_trace")
+//   UGNIRT_TRACE_RING=N       per-PE event-ring capacity (default 65536)
+//   UGNIRT_SPAN_SAMPLE=N      sample every Nth message's lifecycle span
+//                             (activates the session even without
+//                             UGNIRT_TRACE; 0/unset = spans off)
+//   UGNIRT_SPAN_MAX_SPANS=N   retained-span cap (default 1M)
 //
 // When active, the session installs a global EventTracer (see events.hpp)
+// — plus a global SpanCollector when span sampling is on (spans.hpp) —
 // and accumulates per-Machine MetricsRegistry snapshots that Machines
 // absorb into it at destruction.  At process exit — or on an explicit
 // flush() — it writes:
 //
 //   <base>.trace.json    Chrome trace_event JSON (Perfetto-loadable)
 //   <base>.events.csv    flat event rows
-//   <base>.metrics.csv   metric,kind,count,sum,mean,min,max
+//   <base>.metrics.csv   metric,kind,count,sum,mean,min,max,p50,p90,p99
+//   <base>.metrics.json  the same registry as one JSON object
+//   <base>.spans.json    Chrome async spans (only when sampling is on)
 //
-// plus a human-readable metrics table on stderr.  benchtool::Table points
-// the base at the bench name so each figure gets its own trace files.
+// plus a human-readable metrics table — and, with spans, a critical-path
+// breakdown — on stderr.  benchtool::Table points the base at the bench
+// name so each figure gets its own trace files.
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "trace/events.hpp"
 #include "trace/metrics.hpp"
+#include "trace/spans.hpp"
 
 namespace ugnirt::trace {
 
@@ -33,6 +43,9 @@ class TraceSession {
 
   EventTracer& events() { return events_; }
   MetricsRegistry& metrics() { return metrics_; }
+
+  /// Non-null when span sampling is active (UGNIRT_SPAN_SAMPLE > 0).
+  SpanCollector* span_collector() { return spans_.get(); }
 
   /// Fold a Machine's registry into the session-wide aggregate.
   void absorb(const MetricsRegistry& m) { metrics_.merge_from(m); }
@@ -57,10 +70,11 @@ class TraceSession {
 
  private:
   TraceSession(std::size_t ring_capacity, std::string output_base,
-               bool base_from_env);
+               bool base_from_env, SpanConfig span_cfg);
 
   EventTracer events_;
   MetricsRegistry metrics_;
+  std::unique_ptr<SpanCollector> spans_;  // null when sampling is off
   std::string output_base_;
   bool base_from_env_ = false;
   bool flushed_ = false;

@@ -518,7 +518,8 @@ gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t ep, const void* header,
 }
 
 gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t ep, void** data_out,
-                                 std::uint8_t* tag_out) {
+                                 std::uint8_t* tag_out,
+                                 SimTime* arrival_out) {
   if (!ep || !data_out || !tag_out) return GNI_RC_INVALID_PARAM;
   if (!ep->smsg_.initialized) return GNI_RC_INVALID_PARAM;
   sim::Context& c = ctx();
@@ -528,6 +529,7 @@ gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t ep, void** data_out,
     msg.delivered = true;
     *data_out = msg.bytes.data();
     *tag_out = msg.tag;
+    if (arrival_out) *arrival_out = msg.at;
     if (trace::enabled()) {
       trace::emit(trace::Ev::kSmsgRecv, c.now(), 0, ep->remote_inst_,
                   static_cast<std::uint32_t>(msg.bytes.size()));

@@ -261,10 +261,15 @@ gni_return_t GNI_SmsgSendWTag(gni_ep_handle_t ep, const void* header,
 
 /// Peek the next undelivered message on this endpoint's receive mailbox.
 /// Returns a pointer into mailbox memory (valid until GNI_SmsgRelease).
+/// `arrival_out` (optional) receives the message's virtual wire-arrival
+/// time — the instant the Gemini model landed it in the mailbox, which can
+/// be earlier than the CQ poll that discovered it (lifecycle spans use the
+/// gap to separate link traversal from poll wait).
 /// Returns: SUCCESS | INVALID_PARAM | INVALID_STATE (channel not
 /// initialized) | NOT_DONE (no message has arrived yet).
 gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t ep, void** data_out,
-                                 std::uint8_t* tag_out);
+                                 std::uint8_t* tag_out,
+                                 SimTime* arrival_out = nullptr);
 
 /// Release the mailbox slot of the last message returned by GetNextWTag,
 /// returning a credit to the sender.
@@ -319,7 +324,7 @@ gni_return_t post_transaction(Ep* ep, gni_post_descriptor_t* desc,
                                        std::uint32_t, std::uint32_t,         \
                                        std::uint8_t);                        \
   friend gni_return_t GNI_SmsgGetNextWTag(gni_ep_handle_t, void**,           \
-                                          std::uint8_t*);                    \
+                                          std::uint8_t*, SimTime*);          \
   friend gni_return_t GNI_SmsgRelease(gni_ep_handle_t);                      \
   friend gni_return_t GNI_GetCompleted(gni_cq_handle_t,                      \
                                        const gni_cq_entry_t&,                \

@@ -12,10 +12,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "converse/machine.hpp"
 #include "lrts/runtime.hpp"
 #include "trace/events.hpp"
+#include "trace/metrics.hpp"
 #include "trace/session.hpp"
+#include "trace/spans.hpp"
 
 namespace ugnirt::converse {
 namespace {
@@ -127,7 +131,7 @@ TEST(TraceE2E, FlushedArtifactsAreValid) {
   std::istringstream in(metrics);
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
-  EXPECT_EQ(line, "metric,kind,count,sum,mean,min,max");
+  EXPECT_EQ(line, "metric,kind,count,sum,mean,min,max,p50,p90,p99");
   std::set<std::string> counters;
   std::set<std::string> categories;
   while (std::getline(in, line)) {
@@ -150,6 +154,59 @@ TEST(TraceE2E, FlushedArtifactsAreValid) {
   EXPECT_TRUE(counters.count("net.transfers"));
 }
 
+// Span sampling was enabled via UGNIRT_SPAN_SAMPLE=1 in main(), so the
+// flushed session must additionally produce the span artifacts: the
+// Chrome async-span JSON, the machine-readable metrics JSON, and
+// span.stage.* histogram rows whose telescoped sums reconcile with the
+// end-to-end total.
+TEST(TraceE2E, SpanArtifactsReconcile) {
+  trace::TraceSession* session = trace::TraceSession::active();
+  ASSERT_NE(session, nullptr);
+  ASSERT_TRUE(trace::spans_enabled()) << "UGNIRT_SPAN_SAMPLE=1 not honored";
+  session->set_output_base(kOutputBase);
+  run_traffic();
+  session->flush();
+
+  trace::SpanCollector* col = session->span_collector();
+  ASSERT_NE(col, nullptr);
+  EXPECT_GT(col->span_count(), 0u);
+  // sample=1: every submit was sampled.
+  EXPECT_EQ(col->span_count(),
+            std::min<std::uint64_t>(col->submits_seen(),
+                                    col->config().max_spans));
+
+  std::string spans = slurp(std::string(kOutputBase) + ".spans.json");
+  EXPECT_EQ(spans.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(spans.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(spans.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(spans.find("\"deliver\""), std::string::npos);
+
+  std::string mjson = slurp(std::string(kOutputBase) + ".metrics.json");
+  EXPECT_NE(mjson.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"span.total_ns\""), std::string::npos);
+
+  std::string metrics = slurp(std::string(kOutputBase) + ".metrics.csv");
+  EXPECT_NE(metrics.find("span.stage.transport_post,histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("span.stage.deliver,histogram"),
+            std::string::npos);
+
+  // Telescoped per-stage sums reconcile exactly with the end-to-end sum.
+  trace::MetricsRegistry reg;
+  col->fill_histograms(reg);
+  double stage_sum = 0;
+  for (int st = 0; st < trace::kStageCount; ++st) {
+    const trace::Histogram* h = reg.find_histogram(
+        std::string("span.stage.") +
+        trace::stage_name(static_cast<trace::Stage>(st)));
+    if (h) stage_sum += h->sum();
+  }
+  const trace::Histogram* total = reg.find_histogram("span.total_ns");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GT(total->count(), 0u);
+  EXPECT_DOUBLE_EQ(stage_sum, total->sum());
+}
+
 }  // namespace
 }  // namespace ugnirt::converse
 
@@ -157,6 +214,7 @@ int main(int argc, char** argv) {
   // Must happen before the first TraceSession::active() call anywhere.
   setenv("UGNIRT_TRACE", "1", 1);
   setenv("UGNIRT_TRACE_FILE", ugnirt::converse::kOutputBase, 1);
+  setenv("UGNIRT_SPAN_SAMPLE", "1", 1);  // sample every message lifecycle
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();
 }

@@ -7,12 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include "converse/machine.hpp"
+#include "lrts/runtime.hpp"
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "trace/events.hpp"
 #include "trace/metrics.hpp"
+#include "trace/spans.hpp"
 #include "trace/tracer.hpp"
+#include "util/config.hpp"
 #include "util/stats.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
 
 namespace ugnirt {
 namespace {
@@ -206,7 +214,7 @@ TEST(Metrics, CsvHeaderAndRows) {
   std::istringstream in(out.str());
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
-  EXPECT_EQ(line, "metric,kind,count,sum,mean,min,max");
+  EXPECT_EQ(line, "metric,kind,count,sum,mean,min,max,p50,p90,p99");
   int rows = 0;
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, 3);
@@ -443,5 +451,298 @@ TEST(Tracer, CsvHasHeaderAndOneRowPerBin) {
   EXPECT_EQ(rows, 2);
 }
 
+
+// ---------------------------------------------------------------------------
+// Histogram (log-bucketed)
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, EmptyIsAllZero) {
+  trace::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, ExactForSingleValue) {
+  trace::Histogram h;
+  h.add(1234.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234.0);
+  EXPECT_EQ(h.max(), 1234.0);
+  // A one-element histogram clamps every quantile to [min, max].
+  EXPECT_EQ(h.p50(), 1234.0);
+  EXPECT_EQ(h.p99(), 1234.0);
+}
+
+TEST(Histogram, QuantilesWithinBucketResolution) {
+  // 8 sub-buckets per octave bound the relative width of any bucket by
+  // 1/8 = 12.5%; interpolation keeps the estimate inside the bucket, so
+  // the estimate can never be off by more than one bucket width.
+  trace::Histogram h;
+  std::vector<double> vals;
+  std::uint64_t x = 88172645463325252ull;  // xorshift64, fixed seed
+  for (int i = 0; i < 20000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Span ~6 decades, heavily skewed like latency data.
+    double v = 1.0 + static_cast<double>(x % 1000000u);
+    vals.push_back(v);
+    h.add(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double exact =
+        vals[static_cast<std::size_t>(p / 100.0 * (vals.size() - 1))];
+    const double est = h.quantile(p);
+    EXPECT_NEAR(est, exact, 0.125 * exact)
+        << "p" << p << ": est " << est << " vs exact " << exact;
+  }
+  EXPECT_EQ(h.count(), vals.size());
+  EXPECT_EQ(h.min(), vals.front());
+  EXPECT_EQ(h.max(), vals.back());
+}
+
+TEST(Histogram, MergeMatchesSequentialAndIsAssociative) {
+  auto fill = [](trace::Histogram& h, int lo, int n, double scale) {
+    for (int i = 0; i < n; ++i) h.add(scale * (lo + i));
+  };
+  trace::Histogram a, b, c, seq;
+  fill(a, 1, 100, 1.0);
+  fill(b, 50, 200, 3.5);
+  fill(c, 1, 50, 1000.0);
+  fill(seq, 1, 100, 1.0);
+  fill(seq, 50, 200, 3.5);
+  fill(seq, 1, 50, 1000.0);
+
+  trace::Histogram ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  trace::Histogram bc = b;     // a + (b + c)
+  bc.merge(c);
+  trace::Histogram a_bc = a;
+  a_bc.merge(bc);
+
+  for (const trace::Histogram* m : {&ab_c, &a_bc}) {
+    EXPECT_EQ(m->count(), seq.count());
+    EXPECT_DOUBLE_EQ(m->sum(), seq.sum());
+    EXPECT_EQ(m->min(), seq.min());
+    EXPECT_EQ(m->max(), seq.max());
+    // Bucket-exact merge: every quantile matches, not just within error.
+    for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+      EXPECT_DOUBLE_EQ(m->quantile(p), seq.quantile(p)) << "p" << p;
+    }
+  }
+}
+
+TEST(Histogram, RegistryExportsCsvAndJson) {
+  trace::MetricsRegistry reg;
+  trace::Histogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_NE(csv.str().find("lat,histogram,100,"), std::string::npos)
+      << csv.str();
+  std::ostringstream js;
+  reg.write_json(js);
+  EXPECT_TRUE(JsonChecker(js.str()).valid()) << js.str();
+  EXPECT_NE(js.str().find("\"histograms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SpanCollector
+// ---------------------------------------------------------------------------
+
+TEST(Spans, SamplesEveryNthSubmit) {
+  trace::SpanCollector col(trace::SpanConfig{/*sample=*/3});
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) {
+    std::uint32_t id = col.begin(0, 1, 64, 100 * i);
+    if (i % 3 == 0) {
+      EXPECT_NE(id, 0u) << i;
+      ++sampled;
+    } else {
+      EXPECT_EQ(id, 0u) << i;
+    }
+  }
+  EXPECT_EQ(sampled, 3);
+  EXPECT_EQ(col.span_count(), 3u);
+  EXPECT_EQ(col.submits_seen(), 9u);
+}
+
+TEST(Spans, SampleZeroNeverRetainsAnything) {
+  trace::SpanCollector col;  // sample defaults to 0: off
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(col.begin(0, 1, 64, i), 0u);
+  }
+  EXPECT_EQ(col.span_count(), 0u);
+}
+
+TEST(Spans, MaxSpansCapStopsSampling) {
+  trace::SpanCollector col(trace::SpanConfig{1, /*max_spans=*/2});
+  EXPECT_NE(col.begin(0, 1, 8, 0), 0u);
+  EXPECT_NE(col.begin(0, 1, 8, 1), 0u);
+  EXPECT_EQ(col.begin(0, 1, 8, 2), 0u);
+  EXPECT_EQ(col.span_count(), 2u);
+}
+
+TEST(Spans, MarkOnUnknownIdIsNoop) {
+  trace::SpanCollector col(trace::SpanConfig{1});
+  col.mark(0, trace::Stage::kDeliver, 0, 10);    // id 0: unsampled
+  col.mark(999, trace::Stage::kDeliver, 0, 10);  // never issued
+  EXPECT_EQ(col.span_count(), 0u);
+}
+
+TEST(Spans, TelescopedStageSumsReconcileWithTotal) {
+  trace::SpanCollector col(trace::SpanConfig{1});
+  std::uint32_t id = col.begin(0, 1, 64, 100);
+  col.mark(id, trace::Stage::kTransportPost, 0, 150);
+  col.mark(id, trace::Stage::kRxArrive, 1, 400);
+  col.mark(id, trace::Stage::kDeliver, 1, 450);
+  trace::MetricsRegistry reg;
+  col.fill_histograms(reg);
+  double stage_sum = 0;
+  for (int s = 0; s < trace::kStageCount; ++s) {
+    const trace::Histogram* h = reg.find_histogram(
+        std::string("span.stage.") +
+        trace::stage_name(static_cast<trace::Stage>(s)));
+    if (h) stage_sum += h->sum();
+  }
+  const trace::Histogram* total = reg.find_histogram("span.total_ns");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->sum(), 450 - 100);
+  EXPECT_DOUBLE_EQ(stage_sum, total->sum());
+}
+
+TEST(Spans, ChromeJsonIsWellFormed) {
+  trace::SpanCollector col(trace::SpanConfig{1});
+  std::uint32_t id = col.begin(0, 3, 128, 10);
+  col.mark(id, trace::Stage::kTransportPost, 0, 20);
+  col.mark(id, trace::Stage::kDeliver, 3, 55);
+  std::ostringstream out;
+  col.write_chrome_json(out);
+  EXPECT_TRUE(JsonChecker(out.str()).valid()) << out.str();
+  EXPECT_NE(out.str().find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"ph\":\"e\""), std::string::npos);
+}
+
+TEST(Spans, ConfigRoundTripAndEnvOverride) {
+  trace::SpanConfig sc;
+  sc.sample = 7;
+  sc.max_spans = 12345;
+  Config cfg;
+  sc.export_to(cfg);
+  trace::SpanConfig rt = trace::SpanConfig::from(cfg);
+  EXPECT_EQ(rt.sample, 7u);
+  EXPECT_EQ(rt.max_spans, 12345u);
+
+  // UGNIRT_SPAN_SAMPLE must override the exported value via the standard
+  // "span.sample" -> env-name mapping.
+  std::size_t nkeys = 0;
+  const char* const* keys = trace::SpanConfig::config_keys(&nkeys);
+  ASSERT_EQ(nkeys, 2u);
+  EXPECT_STREQ(keys[0], "span.sample");
+  setenv("UGNIRT_SPAN_SAMPLE", "31", 1);
+  cfg.apply_env_overrides({keys, keys + nkeys});
+  unsetenv("UGNIRT_SPAN_SAMPLE");
+  EXPECT_EQ(trace::SpanConfig::from(cfg).sample, 31u);
+  EXPECT_EQ(trace::SpanConfig::from(cfg).max_spans, 12345u);
+}
+
+// ---------------------------------------------------------------------------
+// Spans end-to-end on a real machine
+// ---------------------------------------------------------------------------
+
+namespace spane2e {
+
+struct RunResult {
+  SimTime end_time = 0;
+  std::uint64_t events = 0;
+};
+
+/// 4-PE inter-node ping-pong across the SMSG (64 B) and rendezvous
+/// (256 KiB) regimes; identical seeds and traffic every call.
+RunResult run_traffic() {
+  converse::MachineOptions o;
+  o.pes = 4;
+  o.pes_per_node = 2;
+  auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
+  int bounces = 0;
+  int h = m->register_handler([&](void* msg) {
+    ++bounces;
+    std::uint32_t total = converse::header_of(msg)->size;
+    int me = converse::CmiMyPe();
+    if (bounces < 8) {
+      void* reply = converse::CmiAlloc(total);
+      converse::CmiSetHandler(reply, h);
+      converse::CmiSyncSendAndFree(3 - me, total, reply);
+    }
+    converse::CmiFree(msg);
+  });
+  for (std::uint32_t payload : {64u, 262144u}) {
+    bounces = 0;
+    const std::uint32_t total = payload + converse::kCmiHeaderBytes;
+    m->start(0, [&, total] {
+      void* msg = converse::CmiAlloc(total);
+      converse::CmiSetHandler(msg, h);
+      converse::CmiSyncSendAndFree(3, total, msg);
+    });
+    m->run();
+  }
+  return {m->engine().now(), m->engine().executed()};
+}
+
+}  // namespace spane2e
+
+TEST(SpanE2E, StagesAreOrderedAndSpansComplete) {
+  trace::SpanCollector col(trace::SpanConfig{/*sample=*/1});
+  trace::set_span_collector(&col);
+  spane2e::run_traffic();
+  trace::set_span_collector(nullptr);
+
+  ASSERT_GT(col.span_count(), 0u);
+  std::size_t delivered = 0, with_transport = 0;
+  for (std::uint32_t id = 1; id <= col.span_count(); ++id) {
+    const trace::Span* sp = col.find(id);
+    ASSERT_NE(sp, nullptr);
+    ASSERT_FALSE(sp->marks.empty());
+    EXPECT_EQ(sp->marks.front().stage, trace::Stage::kSubmit);
+    // Virtual time is monotone along the journey.  (Stage enum values are
+    // NOT monotone for rendezvous: the INIT control arrives at the
+    // receiver before the GET is posted, so rx_arrive precedes
+    // transport_post there.)
+    for (std::size_t i = 1; i < sp->marks.size(); ++i) {
+      EXPECT_GE(sp->marks[i].t, sp->marks[i - 1].t) << "span " << id;
+      EXPECT_NE(sp->marks[i].stage, trace::Stage::kSubmit) << "span " << id;
+    }
+    if (sp->marks.back().stage == trace::Stage::kDeliver) ++delivered;
+    for (const trace::SpanMark& mk : sp->marks) {
+      if (mk.stage == trace::Stage::kTransportPost) ++with_transport;
+    }
+  }
+  // Every ping-pong leg is a real delivery; all cross the NIC.
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(with_transport, 0u);
+}
+
+TEST(SpanE2E, SamplingOffLeavesVirtualTimeBitIdentical) {
+  // Run the identical seeded workload with spans fully off and with every
+  // message sampled: the instrumentation must add zero virtual-time
+  // charges and zero extra events.
+  ASSERT_FALSE(trace::spans_enabled());
+  spane2e::RunResult off = spane2e::run_traffic();
+
+  trace::SpanCollector col(trace::SpanConfig{/*sample=*/1});
+  trace::set_span_collector(&col);
+  spane2e::RunResult on = spane2e::run_traffic();
+  trace::set_span_collector(nullptr);
+
+  EXPECT_GT(col.span_count(), 0u);
+  EXPECT_EQ(off.end_time, on.end_time);
+  EXPECT_EQ(off.events, on.events);
+}
+
 }  // namespace
 }  // namespace ugnirt
+

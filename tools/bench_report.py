@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json suite results against committed baselines.
+
+The suite runner (build/bench/suite_runner) writes BENCH_core.json and
+BENCH_scale.json; every metric carries a "better" direction:
+
+  "lower"  / "higher"  gated: a change past --tolerance in the worse
+                       direction fails the run (exit 1)
+  "info"               reported, never gated (wall-clock and other
+                       machine-dependent numbers)
+
+Virtual-time metrics are deterministic, so the committed baselines in
+bench/baselines/ are exact values from a known-good revision; the
+tolerance only absorbs intentional model changes small enough not to
+matter.  Refresh baselines by copying fresh BENCH_*.json over them in the
+same change that alters the model (and say why in the commit message).
+
+Usage:
+  bench_report.py report BENCH_core.json [BENCH_scale.json ...]
+  bench_report.py compare --baseline bench/baselines --current . \
+      [--tolerance 0.15] [BENCH_core.json BENCH_scale.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_FILES = ["BENCH_core.json", "BENCH_scale.json"]
+
+
+def flatten(doc):
+    """Yield (key, value, better, unit) rows from a suite document."""
+    if "metrics" in doc:
+        for name, m in doc["metrics"].items():
+            yield name, m["value"], m.get("better", "info"), m.get("unit", "")
+    for point in doc.get("sweep", []):
+        prefix = "pes%d." % point["pes"]
+        for name, m in point["metrics"].items():
+            yield (prefix + name, m["value"], m.get("better", "info"),
+                   m.get("unit", ""))
+
+
+def load(path):
+    with open(path) as f:
+        return dict(
+            (k, (v, better, unit)) for k, v, better, unit in flatten(json.load(f))
+        )
+
+
+def cmd_report(args):
+    for path in args.files or DEFAULT_FILES:
+        if not os.path.exists(path):
+            print("missing: %s" % path)
+            continue
+        print("== %s ==" % path)
+        for key, (value, better, unit) in sorted(load(path).items()):
+            print("  %-44s %14.3f %-8s (%s)" % (key, value, unit, better))
+    return 0
+
+
+def compare_one(name, base, cur, tolerance):
+    """Return (regressions, lines) comparing two flattened metric dicts."""
+    regressions = []
+    lines = []
+    for key in sorted(base):
+        bval, better, unit = base[key]
+        if key not in cur:
+            regressions.append("%s: metric disappeared" % key)
+            continue
+        cval = cur[key][0]
+        if bval == 0:
+            delta = 0.0 if cval == 0 else float("inf")
+        else:
+            delta = (cval - bval) / abs(bval)
+        worse = (better == "lower" and delta > tolerance) or (
+            better == "higher" and delta < -tolerance
+        )
+        flag = "REGRESSION" if worse else ("   info" if better == "info" else "")
+        lines.append(
+            "  %-44s %14.3f -> %14.3f  %+7.1f%%  %s"
+            % (key, bval, cval, delta * 100.0, flag)
+        )
+        if worse:
+            regressions.append(
+                "%s/%s: %.3f -> %.3f (%+.1f%%, better=%s)"
+                % (name, key, bval, cval, delta * 100.0, better)
+            )
+    for key in sorted(set(cur) - set(base)):
+        lines.append("  %-44s (new metric: %.3f)" % (key, cur[key][0]))
+    return regressions, lines
+
+
+def cmd_compare(args):
+    files = args.files or DEFAULT_FILES
+    tolerance = args.tolerance
+    all_regressions = []
+    for fname in files:
+        base_path = os.path.join(args.baseline, fname)
+        cur_path = os.path.join(args.current, fname)
+        if not os.path.exists(base_path):
+            print("no baseline for %s (looked in %s); skipping" % (fname, base_path))
+            continue
+        if not os.path.exists(cur_path):
+            all_regressions.append("%s: current result missing" % fname)
+            print("MISSING current result: %s" % cur_path)
+            continue
+        regs, lines = compare_one(fname, load(base_path), load(cur_path), tolerance)
+        print("== %s (tolerance %.0f%%) ==" % (fname, tolerance * 100.0))
+        print("\n".join(lines))
+        all_regressions.extend(regs)
+    if all_regressions:
+        print("\nFAIL: %d regression(s) beyond %.0f%%:" % (
+            len(all_regressions), tolerance * 100.0))
+        for r in all_regressions:
+            print("  " + r)
+        return 1
+    print("\nOK: no gated metric regressed beyond %.0f%%" % (tolerance * 100.0))
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_report = sub.add_parser("report", help="pretty-print suite JSONs")
+    p_report.add_argument("files", nargs="*")
+    p_report.set_defaults(func=cmd_report)
+
+    p_cmp = sub.add_parser("compare", help="gate current results on baselines")
+    p_cmp.add_argument("--baseline", default="bench/baselines")
+    p_cmp.add_argument("--current", default=".")
+    p_cmp.add_argument("--tolerance", type=float, default=0.15)
+    p_cmp.add_argument("files", nargs="*")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    args = ap.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
