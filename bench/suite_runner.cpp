@@ -20,6 +20,7 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -162,30 +163,40 @@ std::vector<Metric> run_core() {
 
 // ---- scale sweep --------------------------------------------------------
 
-/// Ring exchange at `pes` PEs: every PE fires `kBurst` 1 KiB messages at
-/// each ring neighbor (left and right).  Direct machine build so the sweep
-/// can report simulator events/sec and the layer's mailbox bytes/PE.
-std::vector<Metric> run_scale_point(int pes) {
+/// One sweep point: `pattern` traffic at `pes` PEs on the `queue` engine
+/// backend.  Patterns:
+///
+///   ring       every PE fires kBurst 1 KiB messages at each ring
+///              neighbor (left and right)
+///   kneighbor  every PE fires kBurst 1 KiB messages at each of its
+///              k=2 neighbors on both sides (4 destinations)
+///
+/// Direct machine build so the point can report simulator events/sec and
+/// the layer's mailbox bytes/PE (the full-machine memory curve).
+std::vector<Metric> run_scale_point(int pes, const std::string& pattern,
+                                    sim::QueueKind queue) {
   constexpr int kBurst = 4;
   constexpr std::uint32_t kBytes = 1024;
+  const int k = pattern == "kneighbor" ? 2 : 1;
 
   converse::MachineOptions o = ugni_options(pes);
   o.pes_per_node = 1;
   o.use_pxshm = false;
+  o.sim_queue = queue;
   auto m = lrts::make_machine(converse::LayerKind::kUgni, o);
   int h = m->register_handler([](void* msg) { converse::CmiFree(msg); });
 
   const std::uint32_t total = kBytes + converse::kCmiHeaderBytes;
   const auto t0 = std::chrono::steady_clock::now();
   for (int pe = 0; pe < pes; ++pe) {
-    m->start(pe, [&m, pe, pes, h, total] {
-      const int left = (pe + pes - 1) % pes;
-      const int right = (pe + 1) % pes;
+    m->start(pe, [&m, pe, pes, k, h, total] {
       for (int i = 0; i < kBurst; ++i) {
-        for (int dest : {left, right}) {
-          void* msg = converse::CmiAlloc(total);
-          converse::CmiSetHandler(msg, h);
-          converse::CmiSyncSendAndFree(dest, total, msg);
+        for (int d = 1; d <= k; ++d) {
+          for (int dest : {(pe + d) % pes, (pe + pes - d) % pes}) {
+            void* msg = converse::CmiAlloc(total);
+            converse::CmiSetHandler(msg, h);
+            converse::CmiSyncSendAndFree(dest, total, msg);
+          }
         }
       }
     });
@@ -196,7 +207,7 @@ std::vector<Metric> run_scale_point(int pes) {
   const double elapsed_ns = static_cast<double>(m->engine().now());
   const double events = static_cast<double>(m->engine().executed());
   const std::uint64_t msgs =
-      static_cast<std::uint64_t>(pes) * 2 * kBurst;
+      static_cast<std::uint64_t>(pes) * 2 * k * kBurst;
   auto* layer = dynamic_cast<lrts::UgniLayer*>(&m->layer());
   const double mailbox_per_pe =
       layer ? static_cast<double>(layer->total_mailbox_bytes()) / pes : 0;
@@ -228,18 +239,44 @@ void write_core(const char* path) {
   std::printf("wrote %s (%zu metrics)\n", path, ms.size());
 }
 
+/// The committed sweep: 1k -> full Hopper (153,216 PEs).  Ring runs on
+/// both queue backends (the heap column is the calendar's speedup
+/// denominator); the heavier kNeighbor pattern runs on the calendar
+/// backend the big points need.
+struct SweepPoint {
+  int pes;
+  const char* pattern;
+  sim::QueueKind queue;
+};
+
+constexpr std::array<int, 5> kSweepPes = {1024, 4096, 16384, 65536, 153216};
+
+std::vector<SweepPoint> sweep_points() {
+  std::vector<SweepPoint> pts;
+  for (int pes : kSweepPes) {
+    pts.push_back({pes, "ring", sim::QueueKind::kHeap});
+    pts.push_back({pes, "ring", sim::QueueKind::kCalendar});
+    pts.push_back({pes, "kneighbor", sim::QueueKind::kCalendar});
+  }
+  return pts;
+}
+
 void write_scale(const char* path) {
   std::ofstream out(path);
   out << "{\n  \"suite\": \"scale\",\n  \"schema\": 1,\n  \"sweep\": [\n";
-  const std::array<int, 5> kPes = {1024, 2048, 4096, 8192, 16384};
-  for (std::size_t i = 0; i < kPes.size(); ++i) {
-    std::vector<Metric> ms = run_scale_point(kPes[i]);
-    out << "    {\"pes\": " << kPes[i] << ", \"metrics\": {\n";
+  const std::vector<SweepPoint> pts = sweep_points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const SweepPoint& p = pts[i];
+    std::vector<Metric> ms = run_scale_point(p.pes, p.pattern, p.queue);
+    out << "    {\"pes\": " << p.pes << ", \"pattern\": \"" << p.pattern
+        << "\", \"queue\": \"" << sim::to_string(p.queue)
+        << "\", \"metrics\": {\n";
     write_metrics(out, ms, "      ");
     out << "    }}";
-    if (i + 1 < kPes.size()) out << ',';
+    if (i + 1 < pts.size()) out << ',';
     out << '\n';
-    std::printf("scale: %d PEs done\n", kPes[i]);
+    std::printf("scale: %d PEs %s/%s done\n", p.pes, p.pattern,
+                sim::to_string(p.queue));
     std::fflush(stdout);
   }
   out << "  ]\n}\n";
@@ -252,8 +289,24 @@ int main(int argc, char** argv) {
   const std::string which = argc > 1 ? argv[1] : "all";
   if (which == "core" || which == "all") write_core("BENCH_core.json");
   if (which == "scale" || which == "all") write_scale("BENCH_scale.json");
+  if (which == "scalepoint") {
+    // One point, metrics to stdout — for profiling and ad-hoc probing.
+    // Usage: suite_runner scalepoint <pes> [ring|kneighbor] [heap|calendar]
+    const int pes = argc > 2 ? std::atoi(argv[2]) : 16384;
+    const std::string pattern = argc > 3 ? argv[3] : "ring";
+    sim::QueueKind queue = sim::QueueKind::kCalendar;
+    if (argc > 4 && !sim::queue_kind_from_string(argv[4], &queue)) {
+      std::fprintf(stderr, "unknown queue '%s'\n", argv[4]);
+      return 2;
+    }
+    for (const Metric& m : run_scale_point(pes, pattern, queue)) {
+      std::printf("%s = %.9g %s\n", m.name.c_str(), m.value, m.unit.c_str());
+    }
+    return 0;
+  }
   if (which != "core" && which != "scale" && which != "all") {
-    std::fprintf(stderr, "usage: suite_runner [core|scale|all]\n");
+    std::fprintf(stderr,
+                 "usage: suite_runner [core|scale|all|scalepoint ...]\n");
     return 2;
   }
   return 0;

@@ -146,7 +146,7 @@ void Pe::run_step(SimTime t) {
 // ---------------------------------------------------------------------------
 
 Machine::Machine(MachineOptions options, std::unique_ptr<MachineLayer> layer)
-    : options_(options), layer_(std::move(layer)) {
+    : options_(options), engine_(options.sim_queue), layer_(std::move(layer)) {
   assert(options_.pes >= 1);
   network_ = std::make_unique<gemini::Network>(
       engine_, topo::Torus3D::for_nodes(options_.nodes()), options_.mc);

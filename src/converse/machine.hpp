@@ -104,6 +104,12 @@ struct MachineOptions {
 
   std::uint64_t seed = 0x5eed;
 
+  /// Engine event-queue backend ("sim.queue" config key / UGNIRT_SIM_QUEUE
+  /// env): the binary-heap oracle or the O(1) calendar queue for
+  /// full-machine sweeps.  Backends are bit-identical under a fixed seed;
+  /// this knob only changes wall-clock speed.
+  sim::QueueKind sim_queue = sim::queue_kind_from_env();
+
   /// PEs per node; 0 means "use mc.cores_per_node".  Micro-benchmarks that
   /// place each rank on its own node set this to 1.
   int pes_per_node = 0;

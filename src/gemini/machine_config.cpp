@@ -33,6 +33,8 @@ MachineConfig MachineConfig::from(const Config& cfg) {
   m.smsg_max_bytes = i32("smsg_max_bytes", m.smsg_max_bytes);
   m.smsg_mailbox_credits = i32("smsg_mailbox_credits", m.smsg_mailbox_credits);
 
+  m.cq_entries = i32("cq_entries", m.cq_entries);
+
   m.fma_put_startup_ns = i64("fma_put_startup_ns", m.fma_put_startup_ns);
   m.fma_get_startup_ns = i64("fma_get_startup_ns", m.fma_get_startup_ns);
   m.fma_bw = f64("fma_bw", m.fma_bw);
@@ -110,6 +112,7 @@ void MachineConfig::export_to(Config& cfg) const {
   set_i("smsg_cpu_recv_ns", smsg_cpu_recv_ns);
   set_i("smsg_max_bytes", smsg_max_bytes);
   set_i("smsg_mailbox_credits", smsg_mailbox_credits);
+  set_i("cq_entries", cq_entries);
   set_i("fma_put_startup_ns", fma_put_startup_ns);
   set_i("fma_get_startup_ns", fma_get_startup_ns);
   set_f("fma_bw", fma_bw);

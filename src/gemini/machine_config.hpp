@@ -39,6 +39,9 @@ struct MachineConfig {
   std::uint32_t smsg_max_bytes = 1024;   // default per-message cap (§III-C)
   std::uint32_t smsg_mailbox_credits = 8;  // in-flight messages per channel
 
+  // ---- Completion queues ----
+  std::uint32_t cq_entries = 1u << 16;  // RX/TX CQ depth per NIC
+
   // ---- FMA (CPU-driven window stores/loads) ----
   SimTime fma_put_startup_ns = 1000;
   SimTime fma_get_startup_ns = 1450;

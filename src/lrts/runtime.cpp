@@ -11,9 +11,10 @@ std::unique_ptr<converse::Machine> make_machine(
   converse::MachineOptions options = options_in;
   options.layer = kind;
   // Honor UGNIRT_GEMINI_* / UGNIRT_FAULT_* / UGNIRT_RETRY_* / UGNIRT_AGG_*
-  // / UGNIRT_FLOW_* environment overrides for every model constant, fault
-  // knob, retry knob, aggregation knob and flow-control knob, so
-  // experiments and ablations can retune the machine without rebuilds.
+  // / UGNIRT_FLOW_* / UGNIRT_SIM_* environment overrides for every model
+  // constant, fault knob, retry knob, aggregation knob, flow-control knob
+  // and the engine's queue backend, so experiments and ablations can
+  // retune the machine without rebuilds.
   {
     Config cfg;
     options.mc.export_to(cfg);
@@ -21,12 +22,15 @@ std::unique_ptr<converse::Machine> make_machine(
     options.retry.export_to(cfg);
     options.aggregation.export_to(cfg);
     options.flow.export_to(cfg);
+    cfg.set("sim.queue", sim::to_string(options.sim_queue));
     cfg.apply_env_overrides();
     options.mc = gemini::MachineConfig::from(cfg);
     options.fault = fault::FaultPlan::from(cfg);
     options.retry = fault::RetryPolicy::from(cfg);
     options.aggregation = aggregation::AggregationConfig::from(cfg);
     options.flow = flowcontrol::FlowConfig::from(cfg);
+    sim::queue_kind_from_string(cfg.get_string_or("sim.queue", "heap"),
+                                &options.sim_queue);
   }
   std::unique_ptr<converse::MachineLayer> layer;
   switch (kind) {

@@ -53,7 +53,8 @@ struct SmpLayer::NodeState {
   ugni::gni_nic_handle_t nic = nullptr;
   ugni::gni_cq_handle_t rx_cq = nullptr;
   ugni::gni_cq_handle_t tx_cq = nullptr;
-  std::unordered_map<int, ugni::gni_ep_handle_t> eps;  // per remote node
+  // Per-remote-node endpoints live in the NIC's peer table (lazy,
+  // first-touch; see ugni::Nic::get_or_connect) — no N-sized map here.
   std::unique_ptr<mempool::MemPool> pool;  // node-shared, pre-registered
 
   // The communication thread: an actor with its own virtual-time cursor.
@@ -138,6 +139,7 @@ void SmpLayer::ensure_domain(converse::Machine& m) {
   retry_ = m.options().retry;
   domain_ = std::make_unique<ugni::Domain>(m.network());
   smsg_cap_ = m.options().mc.smsg_max_for_job(m.options().nodes());
+  const std::uint32_t mc_cq_entries = m.options().mc.cq_entries;
   nodes_.resize(static_cast<std::size_t>(m.options().nodes()));
   for (int n = 0; n < m.options().nodes(); ++n) {
     auto ns = std::make_unique<NodeState>();
@@ -145,12 +147,17 @@ void SmpLayer::ensure_domain(converse::Machine& m) {
     ugni::gni_return_t rc =
         ugni::GNI_CdmAttach(domain_.get(), n, n, &ns->nic);
     assert(rc == ugni::GNI_RC_SUCCESS);
-    rc = ugni::GNI_CqCreate(ns->nic, 1u << 16, &ns->rx_cq);
+    rc = ugni::GNI_CqCreate(ns->nic, mc_cq_entries, &ns->rx_cq);
     assert(rc == ugni::GNI_RC_SUCCESS);
-    rc = ugni::GNI_CqCreate(ns->nic, 1u << 16, &ns->tx_cq);
+    rc = ugni::GNI_CqCreate(ns->nic, mc_cq_entries, &ns->tx_cq);
     assert(rc == ugni::GNI_RC_SUCCESS);
     (void)rc;
     ns->nic->set_smsg_rx_cq(ns->rx_cq);
+    ns->nic->set_default_tx_cq(ns->tx_cq);
+    ugni::gni_smsg_attr_t attr;
+    attr.msg_maxsize = smsg_cap_;
+    attr.mbox_maxcredit = m.options().mc.smsg_mailbox_credits;
+    ns->nic->set_smsg_attr(attr);
     ns->comm_ctx = std::make_unique<sim::Context>(m.engine(), -1000 - n);
 
     NodeState* np = ns.get();
@@ -175,41 +182,10 @@ void SmpLayer::init_pe(converse::Pe& pe) {
   pe.set_layer_state(nullptr);
 }
 
-ugni::gni_ep_handle_t SmpLayer::ensure_channel(sim::Context& ctx,
-                                               NodeState& src,
-                                               int dest_node) {
-  auto it = src.eps.find(dest_node);
-  if (it != src.eps.end()) return it->second;
-  NodeState& dst = node_state(dest_node);
-  const auto& mc = machine_->options().mc;
-
-  ugni::gni_smsg_attr_t attr;
-  attr.msg_maxsize = smsg_cap_;
-  attr.mbox_maxcredit = mc.smsg_mailbox_credits;
-
-  ugni::gni_ep_handle_t fwd = nullptr;
-  ugni::gni_return_t rc = ugni::GNI_EpCreate(src.nic, src.tx_cq, &fwd);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_EpBind(fwd, dest_node);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_SmsgInit(fwd, attr, attr);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  src.eps[dest_node] = fwd;
-  if (!dst.eps.count(src.node)) {
-    ugni::gni_ep_handle_t rev = nullptr;
-    rc = ugni::GNI_EpCreate(dst.nic, dst.tx_cq, &rev);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    rc = ugni::GNI_EpBind(rev, src.node);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    rc = ugni::GNI_SmsgInit(rev, attr, attr);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    dst.eps[src.node] = rev;
-  }
-  (void)rc;
-  ctx.charge(2 * mc.reg_cost(static_cast<std::uint64_t>(
-                                 attr.mbox_maxcredit) *
-                             (attr.msg_maxsize + 16)));
-  return fwd;
+ugni::gni_ep_handle_t SmpLayer::connect(NodeState& src, int dest_node) {
+  ugni::gni_ep_handle_t ep = src.nic->get_or_connect(dest_node);
+  assert(ep && "get_or_connect failed: unknown node or NIC not configured");
+  return ep;
 }
 
 std::uint64_t SmpLayer::total_mailbox_bytes() const {
@@ -464,7 +440,7 @@ void SmpLayer::comm_send(sim::Context& ctx, NodeState& n, int dest_pe,
                          std::uint8_t tag, const void* bytes,
                          std::uint32_t len, void* owned_msg) {
   const int dest_node = machine_->node_of_pe(dest_pe);
-  ugni::gni_ep_handle_t ep = ensure_channel(ctx, n, dest_node);
+  ugni::gni_ep_handle_t ep = connect(n, dest_node);
   // The worker-level destination rides in the first payload bytes for
   // kTagData (the Converse envelope) and inside InitCtrl otherwise, so the
   // SMSG itself needs no extra routing field — but data messages must tell
@@ -528,7 +504,7 @@ void SmpLayer::comm_flush(sim::Context& ctx, NodeState& n) {
   if (faulty && ctx.now() < n.backlog_retry_at) return;
   while (!n.backlog.empty()) {
     NodeState::Pending& p = n.backlog.front();
-    ugni::gni_ep_handle_t ep = ensure_channel(ctx, n, p.dest_node);
+    ugni::gni_ep_handle_t ep = connect(n, p.dest_node);
     ugni::gni_return_t rc = ugni::GNI_SmsgSendWTag(
         ep, p.ctrl.data(), static_cast<std::uint32_t>(p.ctrl.size()),
         nullptr, 0, 0, p.tag);
@@ -600,7 +576,7 @@ void SmpLayer::deliver_to_worker(NodeState& n, int pe, void* msg,
 void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
                                 int src_inst) {
   const auto& mc = machine_->options().mc;
-  ugni::gni_ep_handle_t ep = n.eps.at(src_inst);
+  ugni::gni_ep_handle_t ep = n.nic->ep_for_peer(src_inst);
   void* data = nullptr;
   std::uint8_t tag = 0;
   SimTime arrival = ctx.now();
@@ -675,7 +651,7 @@ void SmpLayer::comm_handle_smsg(sim::Context& ctx, NodeState& n,
       lr.desc->length = ctrl.size;
       std::uint64_t rid = n.next_recv_id++;
       lr.desc->post_id = rid;
-      ugni::gni_ep_handle_t back = ensure_channel(ctx, n, lr.src_node);
+      ugni::gni_ep_handle_t back = connect(n, lr.src_node);
       detail::post_with_retry(ctx, retry_, back, lr.desc.get(),
                               lr.desc->type == ugni::GNI_POST_RDMA_GET,
                               {c_retry_post_, c_retry_escalations_});

@@ -71,8 +71,10 @@ class SmpLayer final : public converse::MachineLayer {
     return *nodes_[static_cast<std::size_t>(node)];
   }
   void ensure_domain(converse::Machine& m);
-  ugni::gni_ep_handle_t ensure_channel(sim::Context& ctx, NodeState& src,
-                                       int dest_node);
+  /// Endpoint to `dest_node` via ugni::Nic::get_or_connect — the uGNI API
+  /// owns channel creation and its first-touch cost (charged to the comm
+  /// thread that first touches the peer).
+  ugni::gni_ep_handle_t connect(NodeState& src, int dest_node);
   void comm_wake(NodeState& n, SimTime t);
   void comm_step(NodeState& n, SimTime t);
   void comm_handle_smsg(sim::Context& ctx, NodeState& n, int src_inst);

@@ -62,7 +62,8 @@ struct UgniLayer::PeState final : converse::LayerPeState {
   ugni::gni_cq_handle_t rx_cq = nullptr;  // SMSG arrivals
   ugni::gni_cq_handle_t tx_cq = nullptr;  // FMA/BTE local completions
   ugni::gni_msgq_handle_t msgq = nullptr; // shared queue (use_msgq mode)
-  std::unordered_map<int, ugni::gni_ep_handle_t> eps;
+  // No per-peer endpoint map here: the NIC's own peer table (populated
+  // lazily by ugni::Nic::get_or_connect) is the single source of truth.
   std::unique_ptr<mempool::MemPool> pool;  // null when use_mempool = false
 
   // In-flight rendezvous sends: waiting for ACK_TAG.
@@ -249,12 +250,20 @@ void UgniLayer::init_pe(converse::Pe& pe) {
   ugni::gni_return_t rc =
       ugni::GNI_CdmAttach(domain_.get(), pe.id(), pe.node(), &s->nic);
   assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_CqCreate(s->nic, 1u << 16, &s->rx_cq);
+  const std::uint32_t mc_cq_entries = pe.machine().options().mc.cq_entries;
+  rc = ugni::GNI_CqCreate(s->nic, mc_cq_entries, &s->rx_cq);
   assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_CqCreate(s->nic, 1u << 16, &s->tx_cq);
+  rc = ugni::GNI_CqCreate(s->nic, mc_cq_entries, &s->tx_cq);
   assert(rc == ugni::GNI_RC_SUCCESS);
   (void)rc;
   s->nic->set_smsg_rx_cq(s->rx_cq);
+  s->nic->set_default_tx_cq(s->tx_cq);
+  // Channel setup is fully lazy: init only records the mailbox geometry
+  // every future get_or_connect will use.  Nothing here is O(npes).
+  ugni::gni_smsg_attr_t attr;
+  attr.msg_maxsize = smsg_cap_;
+  attr.mbox_maxcredit = pe.machine().options().mc.smsg_mailbox_credits;
+  s->nic->set_smsg_attr(attr);
 
   converse::Pe* pptr = &pe;
   s->rx_cq->set_notify([pptr](SimTime t) { pptr->wake(t); });
@@ -275,55 +284,16 @@ void UgniLayer::init_pe(converse::Pe& pe) {
   pe.set_layer_state(std::move(st));
 }
 
-ugni::gni_ep_handle_t UgniLayer::ensure_channel(sim::Context& ctx,
-                                                PeState& src, int dest_pe) {
-  auto it = src.eps.find(dest_pe);
-  if (it != src.eps.end()) return it->second;
-
-  PeState& dst = state_of(dest_pe);
-  const auto& mc = machine_->options().mc;
-
-  const bool msgq_mode = machine_->options().use_msgq;
-  ugni::gni_smsg_attr_t attr;
-  attr.msg_maxsize = smsg_cap_;
-  attr.mbox_maxcredit = mc.smsg_mailbox_credits;
-
-  ugni::gni_ep_handle_t fwd = nullptr;
-  ugni::gni_return_t rc = ugni::GNI_EpCreate(src.nic, src.tx_cq, &fwd);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_EpBind(fwd, dest_pe);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  if (!msgq_mode) {
-    rc = ugni::GNI_SmsgInit(fwd, attr, attr);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-  }
-  src.eps[dest_pe] = fwd;
-
-  // The reverse endpoint is created on the peer as part of the dynamic
-  // connection setup (done via out-of-band datagrams in the real layer);
-  // we charge the initiator for both mailbox registrations.
-  if (!dst.eps.count(src.pe->id())) {
-    ugni::gni_ep_handle_t rev = nullptr;
-    rc = ugni::GNI_EpCreate(dst.nic, dst.tx_cq, &rev);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    rc = ugni::GNI_EpBind(rev, src.pe->id());
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    if (!msgq_mode) {
-      rc = ugni::GNI_SmsgInit(rev, attr, attr);
-      assert(rc == ugni::GNI_RC_SUCCESS);
-    }
-    dst.eps[src.pe->id()] = rev;
-  }
-  (void)rc;
-  if (!msgq_mode) {
-    // MSGQ mode pins no per-pair mailboxes — that is its whole point.
-    const std::uint64_t mbox = static_cast<std::uint64_t>(
-                                   attr.mbox_maxcredit) *
-                               (attr.msg_maxsize + 16);
-    ctx.charge(2 * mc.reg_cost(mbox));  // both mailboxes pinned
+ugni::gni_ep_handle_t UgniLayer::connect(PeState& src, int dest_pe) {
+  bool established = false;
+  ugni::gni_ep_handle_t ep = src.nic->get_or_connect(dest_pe, &established);
+  assert(ep && "get_or_connect failed: unknown peer or NIC not configured");
+  // get_or_connect charged the initiator for both mailbox pins (nothing
+  // in MSGQ mode); mirror the two registrations into the layer counter.
+  if (established && !machine_->options().use_msgq) {
     c_registrations_->inc(2);
   }
-  return fwd;
+  return ep;
 }
 
 // ---------------------------------------------------------------------------
@@ -383,7 +353,7 @@ void UgniLayer::smsg_send(sim::Context& ctx, PeState& src, int dest_pe,
                           std::uint32_t len, void* owned_msg) {
   const bool msgq_mode = machine_->options().use_msgq;
   ugni::gni_ep_handle_t ep = nullptr;
-  if (!msgq_mode) ep = ensure_channel(ctx, src, dest_pe);
+  if (!msgq_mode) ep = connect(src, dest_pe);
   if (src.backlog.empty()) {
     ugni::gni_return_t rc =
         msgq_mode
@@ -449,7 +419,7 @@ void UgniLayer::flush_backlog(sim::Context& ctx, PeState& s) {
       rc = ugni::GNI_MsgqSend(s.nic, p.dest_pe, bytes, len, nullptr, 0,
                               p.tag);
     } else {
-      ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, p.dest_pe);
+      ugni::gni_ep_handle_t ep = connect(s, p.dest_pe);
       rc = ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, p.tag);
     }
     if (rc != ugni::GNI_RC_SUCCESS) {  // still stalled
@@ -660,7 +630,7 @@ bool UgniLayer::has_backlog(const converse::Pe& pe) const {
 
 void UgniLayer::handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
                             int src_inst) {
-  ugni::gni_ep_handle_t ep = s.eps.at(src_inst);
+  ugni::gni_ep_handle_t ep = s.nic->ep_for_peer(src_inst);
   void* data = nullptr;
   std::uint8_t tag = 0;
   SimTime arrival = ctx.now();
@@ -804,7 +774,7 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
 void UgniLayer::issue_rendezvous_get(sim::Context& ctx, PeState& s,
                                      std::uint64_t rid) {
   PeState::LargeRecv& lr = s.recvs.at(rid);
-  ugni::gni_ep_handle_t back = ensure_channel(ctx, s, lr.src_pe);
+  ugni::gni_ep_handle_t back = connect(s, lr.src_pe);
   detail::post_with_retry(ctx, retry_, back, lr.desc.get(),
                           lr.desc->type == ugni::GNI_POST_RDMA_GET,
                           {c_retry_post_, c_retry_escalations_});
@@ -939,7 +909,7 @@ converse::PersistentHandle UgniLayer::create_persistent(
   tx.max_bytes = max_bytes;
   s.persist_tx.push_back(tx);
 
-  ensure_channel(ctx, s, dest_pe);
+  connect(s, dest_pe);
   // Round-trip control exchange.
   int hops = m.network().hops(src.node(), m.node_of_pe(dest_pe));
   ctx.charge(2 * (mc.smsg_wire_startup_ns + hops * mc.hop_ns));
@@ -992,7 +962,7 @@ void UgniLayer::persistent_send(sim::Context& ctx, converse::Pe& src,
   // Keep the sender buffer stable until the PUT completes.
   header_of(msg)->flags |= kMsgFlagNoFree;
 
-  ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, tx.dest_pe);
+  ugni::gni_ep_handle_t ep = connect(s, tx.dest_pe);
   detail::post_with_retry(ctx, retry_, ep, ps.desc.get(),
                           ps.desc->type == ugni::GNI_POST_RDMA_PUT,
                           {c_retry_post_, c_retry_escalations_});

@@ -87,9 +87,10 @@ class UgniLayer final : public converse::MachineLayer {
   PeState& state_of(int pe_id);
 
   void ensure_domain(converse::Machine& m);
-  /// Lazily create the SMSG channel pair between two PEs; charged to ctx.
-  ugni::gni_ep_handle_t ensure_channel(sim::Context& ctx, PeState& src,
-                                       int dest_pe);
+  /// Endpoint to `dest_pe` via ugni::Nic::get_or_connect — the uGNI API
+  /// owns channel creation and its first-touch cost; the layer only
+  /// counts the two mailbox registrations when a channel is established.
+  ugni::gni_ep_handle_t connect(PeState& src, int dest_pe);
 
   /// Send a tagged SMSG (control or data), queueing on credit exhaustion.
   void smsg_send(sim::Context& ctx, PeState& src, int dest_pe,

@@ -67,7 +67,11 @@ bool MemPool::add_slab(std::size_t min_bytes) {
   c.charge(mc.malloc_cost(size));
 
   Slab slab;
-  slab.memory = std::make_unique<std::uint8_t[]>(size);
+  // Default-initialized (new[] without value-init): make_unique would
+  // memset the whole slab, and at full-machine scale (150k pools x
+  // geometric slabs, tens of GB) that zeroing dominated host CPU.  Block
+  // headers are written on carve; payload bytes are caller-owned.
+  slab.memory.reset(new std::uint8_t[size]);
   slab.size = size;
   ugni::gni_return_t rc = ugni::GNI_MemRegister(
       nic_, reinterpret_cast<std::uint64_t>(slab.memory.get()), size,

@@ -51,7 +51,6 @@ struct MpiComm::RankState {
   ugni::gni_nic_handle_t nic = nullptr;
   ugni::gni_cq_handle_t rx_cq = nullptr;
   ugni::gni_cq_handle_t tx_cq = nullptr;
-  std::unordered_map<int, ugni::gni_ep_handle_t> eps;
   std::function<void(SimTime)> wake;
 
   // Pre-registered bounce pool for E1 sends (and E1 receive landings).
@@ -111,14 +110,21 @@ void MpiComm::init_rank(int rank) {
   assert(rank >= 0 && rank < ranks_);
   auto s = std::make_unique<RankState>();
   s->rank = rank;
+  const auto& mc = network_->config();
   ugni::gni_return_t rc =
       ugni::GNI_CdmAttach(domain_.get(), rank, node_of_(rank), &s->nic);
   assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_CqCreate(s->nic, 1u << 16, &s->rx_cq);
+  rc = ugni::GNI_CqCreate(s->nic, mc.cq_entries, &s->rx_cq);
   assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_CqCreate(s->nic, 1u << 16, &s->tx_cq);
+  rc = ugni::GNI_CqCreate(s->nic, mc.cq_entries, &s->tx_cq);
   assert(rc == ugni::GNI_RC_SUCCESS);
   s->nic->set_smsg_rx_cq(s->rx_cq);
+  s->nic->set_default_tx_cq(s->tx_cq);
+  ugni::gni_smsg_attr_t attr;
+  // MPI mailboxes are sized for envelopes + small eager payloads.
+  attr.msg_maxsize = mc.smsg_max_bytes + 64;
+  attr.mbox_maxcredit = mc.mpi_mailbox_credits;
+  s->nic->set_smsg_attr(attr);
 
   (void)rc;
   ranks_state_[static_cast<std::size_t>(rank)] = std::move(s);
@@ -185,46 +191,16 @@ void MpiComm::set_wake(int rank, std::function<void(SimTime)> fn) {
   s.nic->set_credit_notify(hook);  // retry stalled sends on credit return
 }
 
-ugni::gni_ep_handle_t MpiComm::ensure_channel(sim::Context& ctx,
-                                              RankState& src, int dest) {
-  auto it = src.eps.find(dest);
-  if (it != src.eps.end()) return it->second;
-  RankState& dst = st(dest);
-
-  const auto& mc = network_->config();
-  ugni::gni_smsg_attr_t attr;
-  // MPI mailboxes are sized for envelopes + small eager payloads.
-  attr.msg_maxsize = mc.smsg_max_bytes + 64;
-  attr.mbox_maxcredit = mc.mpi_mailbox_credits;
-
-  ugni::gni_ep_handle_t fwd = nullptr;
-  ugni::gni_return_t rc = ugni::GNI_EpCreate(src.nic, src.tx_cq, &fwd);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_EpBind(fwd, dest);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  rc = ugni::GNI_SmsgInit(fwd, attr, attr);
-  assert(rc == ugni::GNI_RC_SUCCESS);
-  src.eps[dest] = fwd;
-  if (!dst.eps.count(src.rank)) {
-    ugni::gni_ep_handle_t rev = nullptr;
-    rc = ugni::GNI_EpCreate(dst.nic, dst.tx_cq, &rev);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    rc = ugni::GNI_EpBind(rev, src.rank);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    rc = ugni::GNI_SmsgInit(rev, attr, attr);
-    assert(rc == ugni::GNI_RC_SUCCESS);
-    dst.eps[src.rank] = rev;
-  }
-  (void)rc;
-  ctx.charge(2 * mc.reg_cost(static_cast<std::uint64_t>(attr.mbox_maxcredit) *
-                             attr.msg_maxsize));
-  return fwd;
+ugni::gni_ep_handle_t MpiComm::connect(RankState& src, int dest) {
+  ugni::gni_ep_handle_t ep = src.nic->get_or_connect(dest);
+  assert(ep && "get_or_connect failed: unknown rank or NIC not configured");
+  return ep;
 }
 
 void MpiComm::smsg_send_ctrl(sim::Context& ctx, RankState& s, int dest,
                              std::uint8_t tag, const void* bytes,
                              std::uint32_t len) {
-  ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, dest);
+  ugni::gni_ep_handle_t ep = connect(s, dest);
   if (s.backlog.empty()) {
     ugni::gni_return_t rc =
         ugni::GNI_SmsgSendWTag(ep, bytes, len, nullptr, 0, 0, tag);
@@ -254,7 +230,7 @@ void MpiComm::flush_backlog(sim::Context& ctx, RankState& s) {
   if (faulty && ctx.now() < s.backlog_retry_at) return;
   while (!s.backlog.empty()) {
     RankState::PendingCtrl& p = s.backlog.front();
-    ugni::gni_ep_handle_t ep = ensure_channel(ctx, s, p.dest);
+    ugni::gni_ep_handle_t ep = connect(s, p.dest);
     ugni::gni_return_t rc = ugni::GNI_SmsgSendWTag(
         ep, p.bytes.data(), static_cast<std::uint32_t>(p.bytes.size()),
         nullptr, 0, 0, p.tag);
@@ -489,7 +465,7 @@ void MpiComm::drain(sim::Context& ctx, RankState& s) {
 
 void MpiComm::handle_smsg(sim::Context& ctx, RankState& s, int src_inst) {
   const auto& mc = network_->config();
-  ugni::gni_ep_handle_t ep = s.eps.at(src_inst);
+  ugni::gni_ep_handle_t ep = s.nic->ep_for_peer(src_inst);
   void* data = nullptr;
   std::uint8_t tag = 0;
   ugni::gni_return_t rc = ugni::GNI_SmsgGetNextWTag(ep, &data, &tag);
@@ -612,8 +588,9 @@ bool MpiComm::iprobe(int rank, int source, int tag, Status* status) {
   // per-connection mailbox state, so its cost grows with the backlog and
   // with the peer count — the paper's "prolonged MPI_Iprobe".
   SimTime conn_sweep = 0;
-  if (s.eps.size() > mc.mpi_iprobe_conn_free) {
-    conn_sweep = static_cast<SimTime>(s.eps.size() -
+  const std::size_t conns = s.nic->connected_peers();
+  if (conns > mc.mpi_iprobe_conn_free) {
+    conn_sweep = static_cast<SimTime>(conns -
                                       mc.mpi_iprobe_conn_free) *
                  mc.mpi_iprobe_conn_ns;
   }

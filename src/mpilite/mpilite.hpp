@@ -188,8 +188,9 @@ class MpiComm {
   void register_with_retry(sim::Context& ctx, RankState& s,
                            std::uint64_t addr, std::uint64_t len,
                            ugni::gni_mem_handle_t* hndl_out);
-  ugni::gni_ep_handle_t ensure_channel(sim::Context& ctx, RankState& src,
-                                       int dest);
+  /// Endpoint to `dest` via ugni::Nic::get_or_connect (lazy first-touch
+  /// channel setup; the uGNI API charges the initiator).
+  ugni::gni_ep_handle_t connect(RankState& src, int dest);
   void smsg_send_ctrl(sim::Context& ctx, RankState& s, int dest,
                       std::uint8_t tag, const void* bytes, std::uint32_t len);
   void flush_backlog(sim::Context& ctx, RankState& s);

@@ -8,19 +8,18 @@ void EventHandle::cancel() {
   if (auto alive = token_.lock()) *alive = false;
 }
 
+Engine::Engine(QueueKind kind) : kind_(kind), queue_(make_event_queue(kind)) {}
+
 EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
   if (when < now_) when = now_;
   auto alive = std::make_shared<bool>(true);
   EventHandle handle{std::weak_ptr<bool>(alive)};
-  queue_.push(Event{when, next_seq_++, std::move(fn), std::move(alive)});
+  queue_->push(Event{when, next_seq_++, std::move(fn), std::move(alive)});
   return handle;
 }
 
 bool Engine::pop_and_run() {
-  // The priority_queue's top is const; move out via const_cast, which is
-  // safe because we pop immediately and never compare the moved-from event.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  Event ev = queue_->pop_earliest();
   now_ = ev.time;
   if (*ev.alive) {
     ++executed_;
@@ -33,7 +32,7 @@ bool Engine::pop_and_run() {
 std::uint64_t Engine::run() {
   stopped_ = false;
   std::uint64_t ran = 0;
-  while (!queue_.empty() && !stopped_) {
+  while (!queue_->empty() && !stopped_) {
     if (pop_and_run()) ++ran;
   }
   return ran;
@@ -42,10 +41,10 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(SimTime until) {
   stopped_ = false;
   std::uint64_t ran = 0;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= until) {
+  while (!queue_->empty() && !stopped_ && queue_->earliest_time() <= until) {
     if (pop_and_run()) ++ran;
   }
-  if (now_ < until && (queue_.empty() || queue_.top().time > until)) {
+  if (now_ < until && queue_->earliest_time() > until) {
     now_ = until;
   }
   return ran;

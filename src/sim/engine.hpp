@@ -5,15 +5,18 @@
 // callbacks here.  Events with equal timestamps fire in scheduling order
 // (a monotonically increasing sequence number breaks ties), which makes
 // every run bit-reproducible.
+//
+// The pending-event set lives behind sim::EventQueue (event_queue.hpp):
+// a binary-heap oracle or an O(1) calendar queue, selected per engine.
+// Both backends honor the same (time, seq) total order, so the choice
+// affects wall-clock speed only — never the event sequence.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <string>
-#include <vector>
 
+#include "sim/event_queue.hpp"
 #include "util/units.hpp"
 
 namespace ugnirt::sim {
@@ -27,7 +30,9 @@ class EventHandle {
   EventHandle() = default;
 
   /// Prevent the callback from running.  Safe to call multiple times and
-  /// after the event fired (no-op).
+  /// after the event fired (no-op).  Cancellation never touches the
+  /// queue: it flips the shared tombstone and the engine skips the dead
+  /// event when it surfaces.
   void cancel();
 
   bool valid() const { return !token_.expired(); }
@@ -40,7 +45,10 @@ class EventHandle {
 
 class Engine {
  public:
-  Engine() = default;
+  /// Default backend comes from UGNIRT_SIM_QUEUE (heap when unset) so
+  /// standalone engines — tests, benches — honor the knob too.
+  Engine() : Engine(queue_kind_from_env()) {}
+  explicit Engine(QueueKind kind);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -64,32 +72,20 @@ class Engine {
   /// Request run()/run_until() to return after the current event.
   void stop() { stopped_ = true; }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return queue_->empty(); }
+  std::size_t pending() const { return queue_->size(); }
   std::uint64_t executed() const { return executed_; }
+  QueueKind queue_kind() const { return kind_; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
-  };
-
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   bool pop_and_run();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  QueueKind kind_;
+  std::unique_ptr<EventQueue> queue_;
 };
 
 }  // namespace ugnirt::sim

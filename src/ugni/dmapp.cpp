@@ -35,7 +35,6 @@ DmappJob::DmappJob(ugni::Domain& domain, int pes, std::uint64_t sheap_bytes,
         sheap_bytes, nullptr, 0, &pe->sheap_hndl_);
     assert(rc == ugni::GNI_RC_SUCCESS);
     (void)rc;
-    pe->eps.assign(static_cast<std::size_t>(pes), nullptr);
     pes_.push_back(std::move(pe));
   }
 }
@@ -55,7 +54,7 @@ dmapp_return_t DmappJob::sheap_malloc(std::uint64_t bytes,
 }
 
 ugni::gni_ep_handle_t DmappJob::ep_to(DmappPe& me, int target_pe) {
-  auto& slot = me.eps[static_cast<std::size_t>(target_pe)];
+  auto& slot = me.eps[target_pe];
   if (!slot) {
     ugni::gni_return_t rc = ugni::GNI_EpCreate(me.nic, me.cq, &slot);
     assert(rc == ugni::GNI_RC_SUCCESS);

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "ugni/ugni.hpp"
@@ -53,7 +54,10 @@ class DmappPe {
   std::uint64_t sheap_bytes_ = 0;
   std::uint64_t sheap_used_ = 0;
   ugni::gni_mem_handle_t sheap_hndl_{};
-  std::vector<ugni::gni_ep_handle_t> eps;  // lazily bound per peer
+  // Lazily bound endpoints, keyed by target PE.  A hash map (not a
+  // dense pes-sized vector) so an idle PE costs O(1) memory even in a
+  // full-machine job (153,216 PEs).
+  std::unordered_map<int, ugni::gni_ep_handle_t> eps;
   SimTime nbi_fence_ = 0;  // completion horizon of outstanding NBI puts
 };
 

@@ -117,16 +117,8 @@ Domain::~Domain() {
 }
 
 Nic* Domain::nic_by_inst(std::int32_t inst_id) const {
-  for (const auto& nic : nics_) {
-    if (nic->inst_id() == inst_id) return nic.get();
-  }
-  return nullptr;
-}
-
-std::uint64_t Domain::total_mailbox_bytes() const {
-  std::uint64_t total = 0;
-  for (const auto& nic : nics_) total += nic->mailbox_bytes();
-  return total;
+  auto it = nic_index_.find(inst_id);
+  return it == nic_index_.end() ? nullptr : it->second;
 }
 
 void Domain::collect_metrics(trace::MetricsRegistry& reg) const {
@@ -140,6 +132,7 @@ void Domain::collect_metrics(trace::MetricsRegistry& reg) const {
       .set(static_cast<double>(total_mailbox_bytes()));
   reg.gauge("ugni.registered_bytes").set(static_cast<double>(registered));
   reg.gauge("ugni.active_regions").set(static_cast<double>(regions));
+  reg.gauge("ugni.smsg_channels").set(static_cast<double>(smsg_channels_));
   std::size_t max_depth = 0;
   std::uint64_t dropped = 0;
   for (const auto& cq : cqs_) {
@@ -155,6 +148,49 @@ void Domain::collect_metrics(trace::MetricsRegistry& reg) const {
 Ep* Nic::ep_for_peer(std::int32_t remote_inst) const {
   auto it = peer_eps_.find(remote_inst);
   return it == peer_eps_.end() ? nullptr : it->second;
+}
+
+Ep* Nic::get_or_connect(std::int32_t peer, bool* established_out) {
+  if (established_out) *established_out = false;
+  if (Ep* ep = ep_for_peer(peer)) return ep;
+  Nic* remote = domain_->nic_by_inst(peer);
+  if (!remote || !default_tx_cq_) return nullptr;
+
+  Ep* fwd = nullptr;
+  gni_return_t rc = GNI_EpCreate(this, default_tx_cq_, &fwd);
+  assert(rc == GNI_RC_SUCCESS);
+  rc = GNI_EpBind(fwd, peer);
+  assert(rc == GNI_RC_SUCCESS);
+  const bool msgq_mode = msgq_ != nullptr;
+  if (!msgq_mode) {
+    rc = GNI_SmsgInit(fwd, smsg_attr_, remote->smsg_attr_);
+    assert(rc == GNI_RC_SUCCESS);
+  }
+
+  // The reverse endpoint materializes on the peer NIC as part of the
+  // same first touch (out-of-band datagrams in the real dynamic setup).
+  if (!remote->ep_for_peer(inst_id_)) {
+    Ep* rev = nullptr;
+    rc = GNI_EpCreate(remote, remote->default_tx_cq_, &rev);
+    assert(rc == GNI_RC_SUCCESS);
+    rc = GNI_EpBind(rev, inst_id_);
+    assert(rc == GNI_RC_SUCCESS);
+    if (remote->msgq_ == nullptr) {
+      rc = GNI_SmsgInit(rev, remote->smsg_attr_, smsg_attr_);
+      assert(rc == GNI_RC_SUCCESS);
+    }
+  }
+  (void)rc;
+  if (!msgq_mode) {
+    // Both mailboxes are pinned now, and the whole setup bill lands on
+    // the initiator's clock at first-touch time (MSGQ pins none).
+    const std::uint64_t mbox =
+        static_cast<std::uint64_t>(smsg_attr_.mbox_maxcredit) *
+        (smsg_attr_.msg_maxsize + kSmsgSysHeader);
+    ctx().charge(2 * domain_->config().reg_cost(mbox));
+  }
+  if (established_out) *established_out = true;
+  return fwd;
 }
 
 bool Nic::handle_valid(const gni_mem_handle_t& h, std::uint64_t addr,
@@ -192,6 +228,7 @@ gni_return_t GNI_CdmAttach(Domain* domain, std::int32_t inst_id, int node,
   if (domain->nic_by_inst(inst_id)) return GNI_RC_INVALID_STATE;
   domain->nics_.push_back(std::make_unique<Nic>(domain, inst_id, node));
   *nic_out = domain->nics_.back().get();
+  domain->nic_index_.emplace(inst_id, *nic_out);
   return GNI_RC_SUCCESS;
 }
 
@@ -412,6 +449,17 @@ gni_return_t GNI_EpBind(gni_ep_handle_t ep, std::int32_t remote_inst_id) {
 
 gni_return_t GNI_EpDestroy(gni_ep_handle_t ep) {
   if (!ep) return GNI_RC_INVALID_PARAM;
+  if (ep->smsg_.initialized) {
+    // Tearing down an initialized channel releases its receive mailbox:
+    // the accounting must track *established* channels, not history.
+    const std::uint64_t mbox =
+        static_cast<std::uint64_t>(ep->smsg_.local.mbox_maxcredit) *
+        (ep->smsg_.local.msg_maxsize + kSmsgSysHeader);
+    ep->nic_->mailbox_bytes_ -= mbox;
+    ep->nic_->domain_->total_mailbox_bytes_ -= mbox;
+    --ep->nic_->domain_->smsg_channels_;
+    ep->smsg_.initialized = false;
+  }
   if (ep->bound()) ep->nic_->peer_eps_.erase(ep->remote_inst_);
   ep->remote_inst_ = -1;
   return GNI_RC_SUCCESS;
@@ -429,10 +477,13 @@ gni_return_t GNI_SmsgInit(gni_ep_handle_t ep, const gni_smsg_attr_t& local,
   ep->smsg_.remote = remote;
   ep->smsg_.credits = remote.mbox_maxcredit;
   // The mailbox for the *local* receive side is allocated and registered on
-  // this NIC; memory grows linearly with connected peers (paper §II-B).
-  ep->nic_->mailbox_bytes_ +=
-      static_cast<std::uint64_t>(local.mbox_maxcredit) *
-      (local.msg_maxsize + kSmsgSysHeader);
+  // this NIC; memory grows linearly with *connected* peers (paper §II-B) —
+  // under lazy setup that is the active pairs, never the job size.
+  const std::uint64_t mbox = static_cast<std::uint64_t>(local.mbox_maxcredit) *
+                             (local.msg_maxsize + kSmsgSysHeader);
+  ep->nic_->mailbox_bytes_ += mbox;
+  ep->nic_->domain_->total_mailbox_bytes_ += mbox;
+  ++ep->nic_->domain_->smsg_channels_;
   return GNI_RC_SUCCESS;
 }
 

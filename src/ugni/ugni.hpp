@@ -433,7 +433,10 @@ class Nic {
   void set_smsg_rx_cq(Cq* cq) { smsg_rx_cq_ = cq; }
 
   /// Total mailbox memory this NIC has committed to SMSG channels — the
-  /// linear-in-peers cost the paper calls out for SMSG vs MSGQ.
+  /// linear-in-peers cost the paper calls out for SMSG vs MSGQ.  Under
+  /// lazy connection setup this reflects only *established* channels:
+  /// it grows at get_or_connect / GNI_SmsgInit time and shrinks when an
+  /// initialized endpoint is destroyed, never at NIC init.
   std::uint64_t mailbox_bytes() const { return mailbox_bytes_; }
 
   std::uint64_t registered_bytes() const { return registered_bytes_; }
@@ -441,6 +444,34 @@ class Nic {
 
   /// Endpoint on this NIC bound to `remote_inst`, or nullptr.
   Ep* ep_for_peer(std::int32_t remote_inst) const;
+
+  /// Defaults used by get_or_connect for lazily created channels: the TX
+  /// CQ every new endpoint binds to and the SMSG mailbox attributes both
+  /// sides agree on.  A machine layer sets these once per NIC at init
+  /// time — O(1) per PE — instead of materializing N endpoints eagerly.
+  void set_default_tx_cq(Cq* cq) { default_tx_cq_ = cq; }
+  Cq* default_tx_cq() const { return default_tx_cq_; }
+  void set_smsg_attr(const gni_smsg_attr_t& attr) { smsg_attr_ = attr; }
+  const gni_smsg_attr_t& smsg_attr() const { return smsg_attr_; }
+
+  /// First-touch connection setup — the ONLY way runtime layers obtain a
+  /// send endpoint.  Returns the endpoint bound to `peer`, creating the
+  /// channel on first use: forward and reverse endpoints, SMSG mailboxes
+  /// on both NICs (skipped for NICs in MSGQ mode, whose whole point is
+  /// pinning no per-pair memory), with both mailbox registrations
+  /// charged to the *initiator's* virtual time — the out-of-band
+  /// datagram handshake of the real dynamic setup.  Subsequent calls are
+  /// an O(1) hash lookup with no charge.  `established_out` (optional)
+  /// reports whether this call created the channel, so callers can count
+  /// setup work.  Returns nullptr when `peer` is unknown or this NIC has
+  /// no default TX CQ configured.  Requires a current sim context.
+  Ep* get_or_connect(std::int32_t peer, bool* established_out = nullptr);
+
+  bool connected(std::int32_t peer) const {
+    return ep_for_peer(peer) != nullptr;
+  }
+  /// Channels this NIC has endpoints for (== active pairs, not job size).
+  std::size_t connected_peers() const { return peer_eps_.size(); }
 
   /// The per-NIC shared message queue (nullptr until GNI_MsgqInit).
   Msgq* msgq() const { return msgq_; }
@@ -473,6 +504,8 @@ class Nic {
   std::int32_t inst_id_;
   int node_;
   Cq* smsg_rx_cq_ = nullptr;
+  Cq* default_tx_cq_ = nullptr;  // TX CQ for get_or_connect endpoints
+  gni_smsg_attr_t smsg_attr_{};  // mailbox attrs for lazy channels
   Msgq* msgq_ = nullptr;  // owned; released by Domain's destructor
   std::vector<Region> regions_;
   std::size_t n_active_regions_ = 0;
@@ -498,11 +531,19 @@ class Domain {
   const gemini::MachineConfig& config() const { return network_->config(); }
   sim::Engine& engine() const { return network_->engine(); }
 
+  /// O(1) instance lookup (hash index) — on the per-send hot path, so it
+  /// must not scan the NIC table (153k NICs at full-machine scale).
   Nic* nic_by_inst(std::int32_t inst_id) const;
   std::size_t nic_count() const { return nics_.size(); }
 
   /// Aggregate SMSG mailbox memory across the job (scalability metric).
-  std::uint64_t total_mailbox_bytes() const;
+  /// Maintained incrementally at SmsgInit/EpDestroy time, so it is O(1)
+  /// to read and counts only currently established channels.
+  std::uint64_t total_mailbox_bytes() const { return total_mailbox_bytes_; }
+
+  /// Established SMSG channel *sides* job-wide (each connected pair
+  /// contributes two).  Grows with traffic patterns, not with N².
+  std::uint64_t smsg_channels() const { return smsg_channels_; }
 
   /// Publish domain-wide gauges: ugni.mailbox_bytes, ugni.registered_bytes,
   /// ugni.active_regions, cq.max_depth, cq.dropped_events, plus the
@@ -512,10 +553,15 @@ class Domain {
  private:
   UGNIRT_UGNI_API_FRIENDS
 
+  friend class Nic;  // get_or_connect maintains the channel accounting
+
   gemini::Network* network_;
   std::vector<std::unique_ptr<Nic>> nics_;
+  std::unordered_map<std::int32_t, Nic*> nic_index_;  // inst_id -> NIC
   std::vector<std::unique_ptr<Ep>> eps_;
   std::vector<std::unique_ptr<Cq>> cqs_;
+  std::uint64_t total_mailbox_bytes_ = 0;
+  std::uint64_t smsg_channels_ = 0;
 };
 
 }  // namespace ugnirt::ugni

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ugnirt::sim {
+namespace {
+
+// ------------------------------------------------------------- selection ----
+
+TEST(QueueKindNames, RoundTrip) {
+  QueueKind k = QueueKind::kHeap;
+  EXPECT_TRUE(queue_kind_from_string("calendar", &k));
+  EXPECT_EQ(k, QueueKind::kCalendar);
+  EXPECT_TRUE(queue_kind_from_string("heap", &k));
+  EXPECT_EQ(k, QueueKind::kHeap);
+  EXPECT_STREQ(to_string(QueueKind::kHeap), "heap");
+  EXPECT_STREQ(to_string(QueueKind::kCalendar), "calendar");
+}
+
+TEST(QueueKindNames, RejectsUnknown) {
+  QueueKind k = QueueKind::kCalendar;
+  EXPECT_FALSE(queue_kind_from_string("splay", &k));
+  EXPECT_FALSE(queue_kind_from_string("", &k));
+  EXPECT_EQ(k, QueueKind::kCalendar);  // untouched on failure
+}
+
+// ------------------------------------------- heap-vs-calendar equivalence ---
+
+/// Deterministic xorshift so the workload is identical across runs.
+struct Rng {
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+Event make_event(SimTime t, std::uint64_t seq) {
+  return Event{t, seq, [] {}, nullptr};
+}
+
+/// Push the same workload into both backends, interleaving pops the way the
+/// engine does (monotone: a pushed time is never before the last pop), and
+/// require the exact same (time, seq) pop sequence.
+void expect_equivalent(const std::vector<int>& batch_sizes,
+                       std::uint64_t gap_mask) {
+  auto heap = make_event_queue(QueueKind::kHeap);
+  auto cal = make_event_queue(QueueKind::kCalendar);
+  Rng rng;
+  std::uint64_t seq = 0;
+  SimTime now = 0;
+  std::vector<std::pair<SimTime, std::uint64_t>> popped_heap, popped_cal;
+  for (int batch : batch_sizes) {
+    for (int i = 0; i < batch; ++i) {
+      SimTime t = now + static_cast<SimTime>(rng.next() & gap_mask);
+      heap->push(make_event(t, seq));
+      cal->push(make_event(t, seq));
+      ++seq;
+    }
+    // Drain half of what is pending, tracking `now` like the engine.
+    std::size_t drain = heap->size() / 2;
+    for (std::size_t i = 0; i < drain; ++i) {
+      Event a = heap->pop_earliest();
+      Event b = cal->pop_earliest();
+      popped_heap.emplace_back(a.time, a.seq);
+      popped_cal.emplace_back(b.time, b.seq);
+      now = a.time;
+    }
+  }
+  while (!heap->empty()) {
+    Event a = heap->pop_earliest();
+    Event b = cal->pop_earliest();
+    popped_heap.emplace_back(a.time, a.seq);
+    popped_cal.emplace_back(b.time, b.seq);
+  }
+  EXPECT_TRUE(cal->empty());
+  ASSERT_EQ(popped_heap.size(), popped_cal.size());
+  EXPECT_EQ(popped_heap, popped_cal);
+  // Sanity: the shared sequence really is (time, seq)-sorted.
+  for (std::size_t i = 1; i < popped_heap.size(); ++i) {
+    const auto& p = popped_heap[i - 1];
+    const auto& q = popped_heap[i];
+    EXPECT_TRUE(p.first < q.first ||
+                (p.first == q.first && p.second < q.second));
+  }
+}
+
+TEST(CalendarQueue, MatchesHeapOnDenseWorkload) {
+  expect_equivalent({500, 500, 500, 500}, 0x3ff);  // gaps 0..1023 ns
+}
+
+TEST(CalendarQueue, MatchesHeapOnSparseWorkload) {
+  expect_equivalent({200, 200, 200}, 0xfffff);  // gaps up to ~1 ms
+}
+
+TEST(CalendarQueue, MatchesHeapOnMixedScales) {
+  // Alternating dense bursts and sparse tails force width re-estimation
+  // and bucket resizes in both directions.
+  expect_equivalent({2000, 10, 2000, 10, 1000}, 0xffff);
+}
+
+TEST(CalendarQueue, ManyEqualTimesPopInFifoOrder) {
+  auto cal = make_event_queue(QueueKind::kCalendar);
+  for (std::uint64_t s = 0; s < 1000; ++s) cal->push(make_event(42, s));
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    Event e = cal->pop_earliest();
+    EXPECT_EQ(e.time, 42);
+    EXPECT_EQ(e.seq, s);
+  }
+  EXPECT_TRUE(cal->empty());
+}
+
+TEST(CalendarQueue, SurvivesYearJumps) {
+  // A huge time jump lands many "years" ahead of the cursor; the direct
+  // search fallback must find it without scanning every empty day.
+  auto cal = make_event_queue(QueueKind::kCalendar);
+  cal->push(make_event(10, 0));
+  EXPECT_EQ(cal->pop_earliest().seq, 0u);
+  cal->push(make_event(1'000'000'000'000, 1));  // ~17 min of virtual time
+  EXPECT_EQ(cal->earliest_time(), 1'000'000'000'000);
+  Event e = cal->pop_earliest();
+  EXPECT_EQ(e.time, 1'000'000'000'000);
+  EXPECT_TRUE(cal->empty());
+  EXPECT_EQ(cal->earliest_time(), kNever);
+}
+
+TEST(CalendarQueue, ChurnAcrossResizes) {
+  auto heap = make_event_queue(QueueKind::kHeap);
+  auto cal = make_event_queue(QueueKind::kCalendar);
+  Rng rng;
+  SimTime now = 0;
+  std::uint64_t seq = 0;
+  // Grow to 20k (multiple doublings), drain to near-empty (shrinks), twice.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 20000; ++i) {
+      SimTime t = now + static_cast<SimTime>(rng.next() & 0xfff);
+      heap->push(make_event(t, seq));
+      cal->push(make_event(t, seq));
+      ++seq;
+    }
+    while (heap->size() > 16) {
+      Event a = heap->pop_earliest();
+      Event b = cal->pop_earliest();
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(a.seq, b.seq);
+      now = a.time;
+    }
+  }
+  while (!heap->empty()) {
+    Event a = heap->pop_earliest();
+    Event b = cal->pop_earliest();
+    EXPECT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(cal->empty());
+}
+
+// ------------------------------------------- engine over both backends ------
+
+class EngineBackend : public ::testing::TestWithParam<QueueKind> {};
+
+TEST_P(EngineBackend, RunsEventsInTimeOrder) {
+  Engine e(GetParam());
+  EXPECT_STREQ(to_string(e.queue_kind()), to_string(GetParam()));
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST_P(EngineBackend, TiesBreakInSchedulingOrder) {
+  Engine e(GetParam());
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST_P(EngineBackend, CancelPreventsExecution) {
+  Engine e(GetParam());
+  bool ran = false;
+  auto h = e.schedule_at(10, [&] { ran = true; });
+  h.cancel();
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST_P(EngineBackend, RunUntilStopsAtBoundary) {
+  Engine e(GetParam());
+  std::vector<SimTime> fired;
+  for (SimTime t = 100; t <= 1000; t += 100) {
+    e.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  e.run_until(500);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(e.now(), 500);
+  e.run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST_P(EngineBackend, EventsCanScheduleMoreEvents) {
+  Engine e(GetParam());
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) e.schedule_after(7, chain);
+  };
+  e.schedule_at(0, chain);
+  e.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(e.now(), 99 * 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EngineBackend,
+                         ::testing::Values(QueueKind::kHeap,
+                                           QueueKind::kCalendar),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace ugnirt::sim

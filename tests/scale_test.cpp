@@ -1,0 +1,256 @@
+// Full-machine scale properties (ISSUE: O(1) calendar event queue + lazy
+// per-peer uGNI state).
+//
+//  * Backend equivalence: a seeded run produces a bit-identical event
+//    trace whether the engine's pending set is the binary heap or the
+//    calendar queue (MachineOptions::sim_queue).
+//  * First-touch channel setup: ugni::Nic::get_or_connect establishes the
+//    SMSG channel pair lazily, charges the initiator the exact two-mailbox
+//    registration bill once, and is free afterwards.
+//  * Mailbox accounting: Nic::mailbox_bytes()/Domain totals reflect only
+//    established channels (and shrink again on GNI_EpDestroy) — the basis
+//    of the flat-memory claim at 153,216 PEs.
+//  * 100k-PE smoke: a ring exchange at 100,000 PEs completes with mailbox
+//    bytes/PE at the same small first-touch ceiling as a 1k-PE job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "converse/machine.hpp"
+#include "gemini/machine_config.hpp"
+#include "lrts/runtime.hpp"
+#include "lrts/ugni_layer.hpp"
+#include "sim/context.hpp"
+#include "trace/events.hpp"
+#include "ugni/ugni.hpp"
+
+namespace ugnirt {
+namespace {
+
+using converse::CmiAlloc;
+using converse::CmiFree;
+using converse::CmiMyPe;
+using converse::CmiSetHandler;
+using converse::CmiSyncSendAndFree;
+using converse::kCmiHeaderBytes;
+using converse::LayerKind;
+using converse::MachineOptions;
+
+// -------------------------------------------------- backend equivalence ----
+
+/// Seeded faulty k-neighbor on the uGNI layer; returns the full event
+/// trace CSV.  The workload exercises SMSG, rendezvous, credit stalls and
+/// retries, so any divergence in event order between queue backends shows
+/// up as a trace mismatch.
+std::string traced_run(sim::QueueKind queue) {
+  trace::EventTracer tracer(1u << 18);
+  trace::set_tracer(&tracer);
+  MachineOptions o;
+  o.pes = 6;
+  o.pes_per_node = 2;
+  o.sim_queue = queue;
+  o.fault.enabled = true;
+  o.fault.seed = 0x5CA1E;
+  o.fault.p_smsg_error = 0.2;
+  o.fault.p_post_error = 0.2;
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
+  EXPECT_EQ(m->engine().queue_kind(), queue);
+  const int pes = o.pes;
+  std::vector<int> received(static_cast<std::size_t>(pes), 0);
+  int h = m->register_handler([&](void* msg) {
+    received[static_cast<std::size_t>(CmiMyPe())]++;
+    CmiFree(msg);
+  });
+  const std::uint32_t small = 256 + kCmiHeaderBytes;
+  const std::uint32_t large = (256u << 10) + kCmiHeaderBytes;
+  for (int pe = 0; pe < pes; ++pe) {
+    m->start(pe, [&m, pe, pes, small, large, h] {
+      for (int i = 0; i < 8; ++i) {
+        const std::uint32_t total = (i % 4 == 3) ? large : small;
+        for (int dest : {(pe + 1) % pes, (pe + pes - 1) % pes}) {
+          void* msg = CmiAlloc(total);
+          CmiSetHandler(msg, h);
+          CmiSyncSendAndFree(dest, total, msg);
+        }
+      }
+    });
+  }
+  m->run();
+  trace::set_tracer(nullptr);
+  for (int pe = 0; pe < pes; ++pe) {
+    EXPECT_EQ(received[static_cast<std::size_t>(pe)], 16) << "pe " << pe;
+  }
+  std::ostringstream csv;
+  tracer.write_csv(csv);
+  return csv.str();
+}
+
+TEST(QueueBackends, SeededTraceIsBitIdenticalAcrossBackends) {
+  std::string heap = traced_run(sim::QueueKind::kHeap);
+  std::string cal = traced_run(sim::QueueKind::kCalendar);
+  EXPECT_FALSE(heap.empty());
+  EXPECT_EQ(heap, cal);
+}
+
+// ------------------------------------------------- first-touch channels ----
+
+/// Minimal two-NIC harness with the per-NIC defaults a machine layer sets
+/// in init_pe (rx/tx CQs + mailbox geometry), so get_or_connect has
+/// everything it needs.
+class LazyConnectFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<gemini::Network>(
+        engine_, topo::Torus3D::for_nodes(8), gemini::MachineConfig{});
+    dom_ = std::make_unique<ugni::Domain>(*net_);
+    for (int i = 0; i < 2; ++i) {
+      ctx_[i] = std::make_unique<sim::Context>(engine_, i);
+      ASSERT_EQ(ugni::GNI_CdmAttach(dom_.get(), i, i, &nic_[i]),
+                ugni::GNI_RC_SUCCESS);
+      ASSERT_EQ(ugni::GNI_CqCreate(nic_[i], 1024, &rx_cq_[i]),
+                ugni::GNI_RC_SUCCESS);
+      ASSERT_EQ(ugni::GNI_CqCreate(nic_[i], 1024, &tx_cq_[i]),
+                ugni::GNI_RC_SUCCESS);
+      nic_[i]->set_smsg_rx_cq(rx_cq_[i]);
+      nic_[i]->set_default_tx_cq(tx_cq_[i]);
+      ugni::gni_smsg_attr_t attr;  // defaults: 1024 max, 8 credits
+      nic_[i]->set_smsg_attr(attr);
+    }
+  }
+
+  /// Two mailboxes' worth of pinned bytes for the default geometry
+  /// (payload cap + 16 B system header, times the credit depth).
+  std::uint64_t mailbox_bytes_per_channel() const {
+    return 8ull * (1024 + 16);
+  }
+
+  sim::Engine engine_;
+  std::unique_ptr<gemini::Network> net_;
+  std::unique_ptr<ugni::Domain> dom_;
+  std::unique_ptr<sim::Context> ctx_[2];
+  ugni::gni_nic_handle_t nic_[2] = {};
+  ugni::gni_cq_handle_t rx_cq_[2] = {};
+  ugni::gni_cq_handle_t tx_cq_[2] = {};
+};
+
+TEST_F(LazyConnectFixture, FirstTouchChargesExactSetupCostOnce) {
+  sim::ScopedContext guard(*ctx_[0]);
+  const SimTime before = ctx_[0]->now();
+  bool established = false;
+  ugni::gni_ep_handle_t ep = nic_[0]->get_or_connect(1, &established);
+  ASSERT_NE(ep, nullptr);
+  EXPECT_TRUE(established);
+  // The whole bill — both directions' mailbox registrations — lands on the
+  // initiator's clock, deterministically.
+  const SimTime bill =
+      2 * dom_->config().reg_cost(mailbox_bytes_per_channel());
+  EXPECT_EQ(ctx_[0]->now() - before, bill);
+
+  // Second touch: same endpoint, no charge, not "established" again.
+  const SimTime t1 = ctx_[0]->now();
+  established = true;
+  EXPECT_EQ(nic_[0]->get_or_connect(1, &established), ep);
+  EXPECT_FALSE(established);
+  EXPECT_EQ(ctx_[0]->now(), t1);
+}
+
+TEST_F(LazyConnectFixture, ConnectWiresBothDirections) {
+  sim::ScopedContext guard(*ctx_[0]);
+  ASSERT_NE(nic_[0]->get_or_connect(1), nullptr);
+  EXPECT_TRUE(nic_[0]->connected(1));
+  EXPECT_TRUE(nic_[1]->connected(0));
+  EXPECT_EQ(nic_[0]->connected_peers(), 1u);
+  EXPECT_EQ(nic_[1]->connected_peers(), 1u);
+  // The reverse endpoint is immediately usable by the peer.
+  EXPECT_NE(nic_[1]->ep_for_peer(0), nullptr);
+}
+
+TEST_F(LazyConnectFixture, UnknownPeerFailsWithoutSideEffects) {
+  sim::ScopedContext guard(*ctx_[0]);
+  const SimTime before = ctx_[0]->now();
+  EXPECT_EQ(nic_[0]->get_or_connect(77), nullptr);
+  EXPECT_EQ(ctx_[0]->now(), before);
+  EXPECT_EQ(nic_[0]->connected_peers(), 0u);
+  EXPECT_EQ(dom_->total_mailbox_bytes(), 0u);
+}
+
+TEST_F(LazyConnectFixture, MailboxAccountingTracksEstablishedChannels) {
+  sim::ScopedContext guard(*ctx_[0]);
+  EXPECT_EQ(dom_->total_mailbox_bytes(), 0u);
+  EXPECT_EQ(nic_[0]->mailbox_bytes(), 0u);
+
+  ASSERT_NE(nic_[0]->get_or_connect(1), nullptr);
+  const std::uint64_t per_mailbox = mailbox_bytes_per_channel();
+  EXPECT_EQ(nic_[0]->mailbox_bytes(), per_mailbox);
+  EXPECT_EQ(nic_[1]->mailbox_bytes(), per_mailbox);
+  EXPECT_EQ(dom_->total_mailbox_bytes(), 2 * per_mailbox);
+  EXPECT_EQ(dom_->smsg_channels(), 2u);
+
+  // Tearing the endpoints down releases exactly what was pinned.
+  ASSERT_EQ(ugni::GNI_EpDestroy(nic_[0]->ep_for_peer(1)),
+            ugni::GNI_RC_SUCCESS);
+  EXPECT_EQ(nic_[0]->mailbox_bytes(), 0u);
+  EXPECT_EQ(dom_->total_mailbox_bytes(), per_mailbox);
+  ASSERT_EQ(ugni::GNI_EpDestroy(nic_[1]->ep_for_peer(0)),
+            ugni::GNI_RC_SUCCESS);
+  EXPECT_EQ(nic_[1]->mailbox_bytes(), 0u);
+  EXPECT_EQ(dom_->total_mailbox_bytes(), 0u);
+  EXPECT_EQ(dom_->smsg_channels(), 0u);
+}
+
+// --------------------------------------------------------- 100k-PE ring ----
+
+/// Ring exchange: every PE sends `msgs` small messages to its right
+/// neighbor.  Returns mailbox bytes per PE after the run.
+double ring_mailbox_bytes_per_pe(int pes, int msgs) {
+  MachineOptions o;
+  o.pes = pes;
+  o.pes_per_node = 1;
+  o.sim_queue = sim::QueueKind::kCalendar;
+  o.use_pxshm = false;
+  auto m = lrts::make_machine(LayerKind::kUgni, o);
+  std::uint64_t received = 0;
+  int h = m->register_handler([&](void* msg) {
+    ++received;
+    CmiFree(msg);
+  });
+  const std::uint32_t total = 64 + kCmiHeaderBytes;
+  for (int pe = 0; pe < pes; ++pe) {
+    m->start(pe, [&m, pe, pes, msgs, total, h] {
+      for (int i = 0; i < msgs; ++i) {
+        void* msg = CmiAlloc(total);
+        CmiSetHandler(msg, h);
+        CmiSyncSendAndFree((pe + 1) % pes, total, msg);
+      }
+    });
+  }
+  m->run();
+  EXPECT_EQ(received, static_cast<std::uint64_t>(pes) * msgs);
+  auto* layer = dynamic_cast<lrts::UgniLayer*>(&m->layer());
+  EXPECT_NE(layer, nullptr);
+  return static_cast<double>(layer->total_mailbox_bytes()) / pes;
+}
+
+TEST(FullMachineScale, HundredKPeRingHasFlatMailboxFootprint) {
+  // Per PE a ring pins exactly two mailboxes (to the right neighbor,
+  // from the left), regardless of job size: credits x (cap + header).
+  // At >16k PEs the SMSG cap drops to smsg_max_bytes/8 = 128 B.
+  const double small = ring_mailbox_bytes_per_pe(1024, 2);
+  const double big = ring_mailbox_bytes_per_pe(100'000, 2);
+  const gemini::MachineConfig mc;
+  const double cap_small = mc.smsg_max_for_job(1024);
+  const double cap_big = mc.smsg_max_for_job(100'000);
+  EXPECT_EQ(small, 2.0 * mc.smsg_mailbox_credits * (cap_small + 16));
+  EXPECT_EQ(big, 2.0 * mc.smsg_mailbox_credits * (cap_big + 16));
+  // The per-PE footprint must not grow with the job — the O(N) eager
+  // mailbox wall of paper §II-B is gone.  (With the smaller large-job
+  // SMSG cap it actually shrinks.)
+  EXPECT_LE(big, small);
+  EXPECT_LE(big, 4096.0);  // hard ceiling: a page per PE
+}
+
+}  // namespace
+}  // namespace ugnirt

@@ -35,7 +35,12 @@ def flatten(doc):
         for name, m in doc["metrics"].items():
             yield name, m["value"], m.get("better", "info"), m.get("unit", "")
     for point in doc.get("sweep", []):
+        # Scale sweep points are keyed by the full (pes, pattern, queue)
+        # coordinate; older baselines carried only pes.
         prefix = "pes%d." % point["pes"]
+        if "pattern" in point:
+            prefix = "pes%d.%s.%s." % (
+                point["pes"], point["pattern"], point.get("queue", "heap"))
         for name, m in point["metrics"].items():
             yield (prefix + name, m["value"], m.get("better", "info"),
                    m.get("unit", ""))

@@ -56,6 +56,22 @@ if [ -n "$decl" ]; then
   status=1
 fi
 
+# 4. `ensure_channel` is a dead symbol: the eager per-layer channel-setup
+#    helpers were deleted when lazy first-touch connection moved into
+#    ugni::Nic::get_or_connect.  Re-introducing a layer-side setup path
+#    would quietly bring back O(N^2) job-wide endpoint state, so zero
+#    occurrences are allowed anywhere (comments included, same rationale
+#    as rule 1).
+eager=$(grep -rEn '\bensure_channel\b' \
+    --include='*.cpp' --include='*.hpp' --include='*.h' \
+    src bench examples tests 2>/dev/null)
+if [ -n "$eager" ]; then
+  echo "error: 'ensure_channel' was removed; per-peer channels are" >&2
+  echo "established lazily by ugni::Nic::get_or_connect (first touch):" >&2
+  echo "$eager" >&2
+  status=1
+fi
+
 if [ "$status" -ne 0 ]; then
   exit 1
 fi
