@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/context.hpp"
+#include "sim/engine.hpp"
 #include "ugni/dmapp.hpp"
 #include "util/rng.hpp"
 
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
   const int items = argc > 2 ? std::atoi(argv[2]) : 5000;
   const int bins = argc > 3 ? std::atoi(argv[3]) : 64;
 
-  sim::Engine engine;
+  sim::Engine engine{sim::EngineOptions::from_env()};
   gemini::Network network(engine, topo::Torus3D::for_nodes((pes + 1) / 2),
                           gemini::MachineConfig{});
   ugni::Domain domain(network);

@@ -42,7 +42,7 @@ Pe::Pe(Machine& machine, int id, int node)
     : machine_(&machine),
       id_(id),
       node_(node),
-      ctx_(machine.engine(), id),
+      ctx_(machine.scheduler_for_pe(id), id),
       rng_(Rng(machine.options().seed).derive(static_cast<std::uint64_t>(id))) {
 }
 
@@ -65,7 +65,10 @@ void Pe::wake(SimTime t) {
   }
   step_scheduled_ = true;
   scheduled_at_ = when;
-  step_event_ = machine_->engine().schedule_at(
+  // Through the PE's own shard scheduler: a PE's steps are the textbook
+  // shard-local workload, and under the replay drive this is bit-identical
+  // to scheduling on the global engine.
+  step_event_ = ctx_.scheduler().schedule_at(
       when, [this, when] { run_step(when); });
 }
 
@@ -145,8 +148,25 @@ void Pe::run_step(SimTime t) {
 // Machine
 // ---------------------------------------------------------------------------
 
+namespace {
+sim::EngineOptions engine_options_for(const MachineOptions& o) {
+  sim::EngineOptions eo;
+  eo.queue = o.sim_queue;
+  eo.shards = o.effective_shards();
+  eo.lookahead_ns = o.effective_lookahead_ns();
+  // The runtime layers share state across PEs (the Network's link
+  // schedules, tracer buffers, metrics), so the machine always drives the
+  // engine in replay mode: exact global (time, seq) order, bit-identical
+  // for any shard count.
+  eo.mode = sim::DriveMode::kReplay;
+  return eo;
+}
+}  // namespace
+
 Machine::Machine(MachineOptions options, std::unique_ptr<MachineLayer> layer)
-    : options_(options), engine_(options.sim_queue), layer_(std::move(layer)) {
+    : options_(options),
+      engine_(engine_options_for(options)),
+      layer_(std::move(layer)) {
   assert(options_.pes >= 1);
   network_ = std::make_unique<gemini::Network>(
       engine_, topo::Torus3D::for_nodes(options_.nodes()), options_.mc);
@@ -428,7 +448,7 @@ void Machine::send_persistent(PersistentHandle handle, void* msg) {
 
 void Machine::start(int pe_id, std::function<void()> fn) {
   Pe& pe = *pes_[static_cast<std::size_t>(pe_id)];
-  engine_.schedule_at(0, [this, &pe, fn = std::move(fn)] {
+  scheduler_for_pe(pe_id).schedule_at(0, [this, &pe, fn = std::move(fn)] {
     pe.ctx().set_now(std::max(engine_.now(), pe.avail_at_));
     Pe* prev = current_pe_;
     current_pe_ = &pe;

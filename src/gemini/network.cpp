@@ -26,9 +26,9 @@ const char* mechanism_name(Mechanism m) {
   return "?";
 }
 
-Network::Network(sim::Engine& engine, topo::Torus3D torus,
+Network::Network(sim::Scheduler& sched, topo::Torus3D torus,
                  MachineConfig config)
-    : engine_(&engine),
+    : sched_(&sched),
       torus_(std::move(torus)),
       config_(config),
       links_(torus_.total_links()),

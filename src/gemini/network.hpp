@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "gemini/machine_config.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "topo/torus.hpp"
 #include "trace/metrics.hpp"
 #include "util/units.hpp"
@@ -111,7 +111,7 @@ class LinkSchedule {
 
 class Network {
  public:
-  Network(sim::Engine& engine, topo::Torus3D torus, MachineConfig config);
+  Network(sim::Scheduler& sched, topo::Torus3D torus, MachineConfig config);
 
   /// Compute the timing of a transfer and reserve the resources it uses.
   /// Deterministic: identical call sequences give identical times.
@@ -119,7 +119,10 @@ class Network {
 
   const topo::Torus3D& torus() const { return torus_; }
   const MachineConfig& config() const { return config_; }
-  sim::Engine& engine() const { return *engine_; }
+  /// The scheduling surface for completion/notify events.  Deliberately
+  /// not the whole sim::Engine: the network is a protocol state machine,
+  /// not a simulation driver.
+  sim::Scheduler& scheduler() const { return *sched_; }
   const NetworkStats& stats() const { return stats_; }
 
   int hops(int a, int b) const { return torus_.hops(a, b); }
@@ -175,7 +178,7 @@ class Network {
     return static_cast<SimTime>(torus_.hops(from, to)) * config_.hop_ns;
   }
 
-  sim::Engine* engine_;
+  sim::Scheduler* sched_;
   topo::Torus3D torus_;
   MachineConfig config_;
   std::vector<LinkSchedule> links_;  // per directional link

@@ -23,6 +23,8 @@ std::unique_ptr<converse::Machine> make_machine(
     options.aggregation.export_to(cfg);
     options.flow.export_to(cfg);
     cfg.set("sim.queue", sim::to_string(options.sim_queue));
+    cfg.set("sim.shards", std::to_string(options.sim_shards));
+    cfg.set("sim.lookahead_ns", std::to_string(options.sim_lookahead_ns));
     cfg.apply_env_overrides();
     options.mc = gemini::MachineConfig::from(cfg);
     options.fault = fault::FaultPlan::from(cfg);
@@ -31,6 +33,9 @@ std::unique_ptr<converse::Machine> make_machine(
     options.flow = flowcontrol::FlowConfig::from(cfg);
     sim::queue_kind_from_string(cfg.get_string_or("sim.queue", "heap"),
                                 &options.sim_queue);
+    options.sim_shards = static_cast<int>(cfg.get_int_or("sim.shards", 1));
+    options.sim_lookahead_ns =
+        static_cast<SimTime>(cfg.get_int_or("sim.lookahead_ns", 0));
   }
   std::unique_ptr<converse::MachineLayer> layer;
   switch (kind) {

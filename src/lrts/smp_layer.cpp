@@ -158,7 +158,10 @@ void SmpLayer::ensure_domain(converse::Machine& m) {
     attr.msg_maxsize = smsg_cap_;
     attr.mbox_maxcredit = m.options().mc.smsg_mailbox_credits;
     ns->nic->set_smsg_attr(attr);
-    ns->comm_ctx = std::make_unique<sim::Context>(m.engine(), -1000 - n);
+    // The comm thread lives on its node's shard, like the worker PEs it
+    // serves: its CQ-notify and retry events stay shard-local.
+    ns->comm_ctx =
+        std::make_unique<sim::Context>(m.scheduler_for_node(n), -1000 - n);
 
     NodeState* np = ns.get();
     auto wake_hook = [this, np](SimTime t) { comm_wake(*np, t); };
@@ -332,7 +335,7 @@ void SmpLayer::comm_wake(NodeState& n, SimTime t) {
   n.comm_scheduled = true;
   n.comm_sched_at = when;
   NodeState* np = &n;
-  n.comm_event = machine_->engine().schedule_at(
+  n.comm_event = n.comm_ctx->scheduler().schedule_at(
       when, [this, np, when] { comm_step(*np, when); });
 }
 

@@ -197,7 +197,7 @@ ugni::gni_ep_handle_t MpiComm::connect(RankState& src, int dest) {
   return ep;
 }
 
-void MpiComm::smsg_send_ctrl(sim::Context& ctx, RankState& s, int dest,
+void MpiComm::smsg_send_ctrl(sim::Context& /*ctx*/, RankState& s, int dest,
                              std::uint8_t tag, const void* bytes,
                              std::uint32_t len) {
   ugni::gni_ep_handle_t ep = connect(s, dest);
@@ -256,7 +256,7 @@ void MpiComm::flush_backlog(sim::Context& ctx, RankState& s) {
       s.backlog_retry_at = ctx.now() + pause;
       RankState* sp = &s;
       const SimTime at = s.backlog_retry_at;
-      network_->engine().schedule_at(at, [sp, at] {
+      network_->scheduler().schedule_at(at, [sp, at] {
         if (sp->wake) sp->wake(at);
       });
       return;
@@ -350,7 +350,7 @@ void MpiComm::isend(int rank, int dest, int tag, const void* buf,
     ++stats_.unexpected;
     if (d.wake) {
       SimTime at = d.unexpected.back().data_ready;
-      network_->engine().schedule_at(at, [&d, at] {
+      network_->scheduler().schedule_at(at, [&d, at] {
         if (d.wake) d.wake(at);
       });
     }

@@ -12,7 +12,7 @@
 #include <cassert>
 #include <cstdint>
 
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "util/units.hpp"
 
 namespace ugnirt::sim {
@@ -26,10 +26,13 @@ enum class CostKind : std::uint8_t {
 
 class Context {
  public:
-  Context(Engine& engine, int pe)
-      : engine_(&engine), pe_(pe), cursor_(engine.now()) {}
+  Context(Scheduler& sched, int pe)
+      : sched_(&sched), pe_(pe), cursor_(sched.now()) {}
 
-  Engine& engine() const { return *engine_; }
+  /// The scheduling domain this PE lives in (its engine shard).  The
+  /// narrow Scheduler surface on purpose: context holders charge time and
+  /// schedule events, they never drive the engine.
+  Scheduler& scheduler() const { return *sched_; }
   int pe() const { return pe_; }
 
   /// Current local virtual time of this PE (>= engine time while running).
@@ -56,7 +59,7 @@ class Context {
   SimTime app_total() const { return app_total_; }
 
  private:
-  Engine* engine_;
+  Scheduler* sched_;
   int pe_;
   SimTime cursor_;
   SimTime overhead_total_ = 0;

@@ -1,50 +1,383 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <cstdlib>
+#include <thread>
 #include <utility>
 
 namespace ugnirt::sim {
 
+namespace {
+
+/// The shard currently executing an event on this thread.  Thread-local so
+/// the threaded window drive gives every worker its own notion of "here";
+/// the engine pointer disambiguates nested engines (benches build several).
+struct ExecutingShard {
+  const Engine* engine = nullptr;
+  int shard = -1;
+};
+thread_local ExecutingShard t_executing;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EventHandle
+// ---------------------------------------------------------------------------
+
 void EventHandle::cancel() {
-  if (auto alive = token_.lock()) *alive = false;
+  if (auto alive = token_.lock()) {
+    if (*alive) {
+      *alive = false;
+      // First successful cancel of a not-yet-fired event: it is no longer
+      // pending work.  (pop_and_run flips the tombstone before running the
+      // callback, so a self-cancel from inside the firing event cannot
+      // reach here and double-decrement.)
+      if (auto live = live_.lock()) {
+        live->fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
-Engine::Engine(QueueKind kind) : kind_(kind), queue_(make_event_queue(kind)) {}
+// ---------------------------------------------------------------------------
+// EngineOptions
+// ---------------------------------------------------------------------------
+
+const char* to_string(DriveMode mode) {
+  switch (mode) {
+    case DriveMode::kReplay:
+      return "replay";
+    case DriveMode::kWindow:
+      return "window";
+  }
+  return "replay";
+}
+
+EngineOptions EngineOptions::from_env() {
+  EngineOptions o;
+  o.queue = queue_kind_from_env();
+  if (const char* env = std::getenv("UGNIRT_SIM_SHARDS")) {
+    o.shards = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("UGNIRT_SIM_LOOKAHEAD_NS")) {
+    o.lookahead_ns = std::max<SimTime>(1, std::atoll(env));
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Engine::Shard
+// ---------------------------------------------------------------------------
+
+Engine::Shard::Shard(Engine& engine, int index, QueueKind kind)
+    : engine_(&engine),
+      index_(index),
+      queue_(make_event_queue(kind)),
+      live_(std::make_shared<std::atomic<std::int64_t>>(0)) {}
+
+SimTime Engine::Shard::now() const {
+  // Under replay the shards execute in one merged global order, so the
+  // engine clock is the honest local time (a shard's own clock only
+  // advances when one of its events pops).  Under the window drive the
+  // shard clock is the real local time.
+  return engine_->mode_ == DriveMode::kReplay ? engine_->now_ : now_;
+}
+
+EventHandle Engine::Shard::schedule_at(SimTime when,
+                                       std::function<void()> fn) {
+  return engine_->schedule_on(index_, when, std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(const EngineOptions& options)
+    : queue_kind_(options.queue),
+      mode_(options.mode),
+      lookahead_(std::max<SimTime>(1, options.lookahead_ns)) {
+  const int nshards = std::max(1, options.shards);
+  threads_ = std::clamp(options.threads, 0, nshards);
+  shards_.reserve(static_cast<std::size_t>(nshards));
+  for (int i = 0; i < nshards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(*this, i, options.queue));
+  }
+}
+
+Engine::~Engine() = default;
+
+Scheduler& Engine::scheduler(int shard) {
+  assert(shard >= 0 && shard < shards());
+  return *shards_[static_cast<std::size_t>(shard)];
+}
+
+SimTime Engine::shard_now(int shard) const {
+  assert(shard >= 0 && shard < shards());
+  return shards_[static_cast<std::size_t>(shard)]->now_;
+}
+
+int Engine::current_shard() const {
+  return t_executing.engine == this ? t_executing.shard : -1;
+}
+
+std::size_t Engine::pending() const {
+  std::int64_t live = 0;
+  for (const auto& s : shards_) {
+    live += s->live_->load(std::memory_order_relaxed);
+  }
+  return live > 0 ? static_cast<std::size_t>(live) : 0;
+}
+
+std::uint64_t Engine::next_seq(int scheduling_shard) {
+  if (mode_ == DriveMode::kReplay) {
+    // One global stream: scheduling order == seq order, exactly as the
+    // sequential engine assigned it (replay executes the identical global
+    // sequence, so the assignment is reproducible for any shard count).
+    return next_seq_++;
+  }
+  // Window drive: striped per-shard streams (seq = local * S + shard).
+  // Each stream depends only on its own shard's execution, so equal-time
+  // cross-shard ties break the same way no matter how worker threads
+  // interleave on wall-clock.
+  Shard& s = *shards_[static_cast<std::size_t>(scheduling_shard)];
+  return s.local_seq_++ * static_cast<std::uint64_t>(shards_.size()) +
+         static_cast<std::uint64_t>(scheduling_shard);
+}
 
 EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
-  if (when < now_) when = now_;
+  const int cur = current_shard();
+  return schedule_on(cur >= 0 ? cur : 0, when, std::move(fn));
+}
+
+EventHandle Engine::schedule_on(int target, SimTime when,
+                                std::function<void()> fn) {
+  assert(target >= 0 && target < shards());
+  Shard& dst = *shards_[static_cast<std::size_t>(target)];
+  const int src = current_shard();
+  const std::uint64_t seq = next_seq(src >= 0 ? src : target);
+
   auto alive = std::make_shared<bool>(true);
-  EventHandle handle{std::weak_ptr<bool>(alive)};
-  queue_->push(Event{when, next_seq_++, std::move(fn), std::move(alive)});
+  EventHandle handle{std::weak_ptr<bool>(alive),
+                     std::weak_ptr<std::atomic<std::int64_t>>(dst.live_)};
+  dst.live_->fetch_add(1, std::memory_order_relaxed);
+
+  if (mode_ == DriveMode::kWindow && src >= 0 && src != target) {
+    // Cross-shard while a round drains: the target may already be past
+    // `when` inside this round, so the event parks in the target's
+    // mailbox and merges at the barrier.  The conservative contract makes
+    // that safe: when >= src clock + lookahead >= round floor + lookahead
+    // = horizon, i.e. no shard has drained past it.  A violating schedule
+    // is counted and clamped to the target's clock at merge time.
+    if (when < round_horizon_) {
+      lookahead_violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(dst.mailbox_mu_);
+    dst.mailbox_.push_back(Event{when, seq, std::move(fn), std::move(alive)});
+    return handle;
+  }
+
+  // Same-shard (or outside execution): straight into the queue.  Clamp to
+  // the local floor so inserts stay monotone for the backends.
+  const SimTime floor = mode_ == DriveMode::kReplay ? now_ : dst.now_;
+  if (when < floor) when = floor;
+  if (src >= 0 && src != target) ++cross_shard_events_;  // replay only
+  dst.queue_->push(Event{when, seq, std::move(fn), std::move(alive)});
   return handle;
 }
 
-bool Engine::pop_and_run() {
-  Event ev = queue_->pop_earliest();
-  now_ = ev.time;
-  if (*ev.alive) {
-    ++executed_;
-    ev.fn();
-    return true;
+Engine::Shard* Engine::earliest_shard() {
+  Shard* best = nullptr;
+  const Event* best_head = nullptr;
+  for (auto& s : shards_) {
+    const Event* head = s->queue_->peek_earliest();
+    if (!head) continue;
+    if (!best_head || head->time < best_head->time ||
+        (head->time == best_head->time && head->seq < best_head->seq)) {
+      best = s.get();
+      best_head = head;
+    }
   }
-  return false;
+  return best;
+}
+
+SimTime Engine::earliest_time_global() {
+  SimTime earliest = kNever;
+  for (auto& s : shards_) {
+    earliest = std::min(earliest, s->queue_->earliest_time());
+  }
+  return earliest;
+}
+
+bool Engine::pop_and_run(Shard& shard) {
+  Event ev = shard.queue_->pop_earliest();
+  now_ = ev.time;
+  shard.now_ = ev.time;
+  if (!*ev.alive) return false;  // tombstone: cancelled, already uncounted
+  *ev.alive = false;             // fired: a late cancel() must be a no-op
+  shard.live_->fetch_sub(1, std::memory_order_relaxed);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  const ExecutingShard prev = t_executing;
+  t_executing = {this, shard.index_};
+  ev.fn();
+  t_executing = prev;
+  return true;
 }
 
 std::uint64_t Engine::run() {
-  stopped_ = false;
+  return mode_ == DriveMode::kWindow ? run_window(kNever) : run_replay(kNever);
+}
+
+std::uint64_t Engine::run_until(SimTime until) {
+  return mode_ == DriveMode::kWindow ? run_window(until) : run_replay(until);
+}
+
+std::uint64_t Engine::run_replay(SimTime until) {
+  stopped_.store(false, std::memory_order_relaxed);
+  const bool bounded = until != kNever;
   std::uint64_t ran = 0;
-  while (!queue_->empty() && !stopped_) {
-    if (pop_and_run()) ++ran;
+  if (shards_.size() == 1) {
+    // Sequential fast path: no tournament, exactly the classic engine.
+    Shard& s = *shards_[0];
+    while (!stopped_.load(std::memory_order_relaxed)) {
+      const Event* head = s.queue_->peek_earliest();
+      if (!head || (bounded && head->time > until)) break;
+      if (pop_and_run(s)) ++ran;
+    }
+  } else {
+    while (!stopped_.load(std::memory_order_relaxed)) {
+      Shard* s = earliest_shard();
+      if (!s) break;
+      if (bounded && s->queue_->peek_earliest()->time > until) break;
+      if (pop_and_run(*s)) ++ran;
+    }
+  }
+  if (bounded && now_ < until && earliest_time_global() > until) {
+    now_ = until;
   }
   return ran;
 }
 
-std::uint64_t Engine::run_until(SimTime until) {
-  stopped_ = false;
-  std::uint64_t ran = 0;
-  while (!queue_->empty() && !stopped_ && queue_->earliest_time() <= until) {
-    if (pop_and_run()) ++ran;
+void Engine::merge_mailboxes() {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::vector<Event> arrived;
+    {
+      std::lock_guard<std::mutex> lock(s.mailbox_mu_);
+      arrived.swap(s.mailbox_);
+    }
+    cross_shard_events_ += arrived.size();
+    for (Event& ev : arrived) {
+      // A lookahead violation could date the event inside the target's
+      // past; clamping to the shard clock keeps queue inserts monotone.
+      if (ev.time < s.now_) ev.time = s.now_;
+      s.queue_->push(std::move(ev));
+    }
   }
-  if (now_ < until && queue_->earliest_time() > until) {
+}
+
+std::uint64_t Engine::drain_shard_to(Shard& shard, SimTime horizon) {
+  std::uint64_t ran = 0;
+  const ExecutingShard prev = t_executing;
+  t_executing = {this, shard.index_};
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    const Event* head = shard.queue_->peek_earliest();
+    if (!head || head->time >= horizon) break;
+    Event ev = shard.queue_->pop_earliest();
+    shard.now_ = ev.time;
+    if (!*ev.alive) continue;
+    *ev.alive = false;
+    shard.live_->fetch_sub(1, std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    ev.fn();
+    ++ran;
+  }
+  t_executing = prev;
+  return ran;
+}
+
+std::uint64_t Engine::run_window(SimTime until) {
+  stopped_.store(false, std::memory_order_relaxed);
+  const bool bounded = until != kNever;
+  std::uint64_t ran = 0;
+
+  // Round-synchronization state for the worker pool (threads_ > 0).
+  struct Pool {
+    std::mutex mu;
+    std::condition_variable cv_start;
+    std::condition_variable cv_done;
+    std::uint64_t round = 0;
+    SimTime horizon = 0;
+    int working = 0;
+    bool quit = false;
+    std::uint64_t round_ran = 0;
+  } pool;
+  std::vector<std::thread> workers;
+  const int nthreads = std::min(threads_, shards());
+  if (nthreads > 0) {
+    workers.reserve(static_cast<std::size_t>(nthreads));
+    for (int w = 0; w < nthreads; ++w) {
+      workers.emplace_back([this, w, nthreads, &pool] {
+        std::uint64_t seen = 0;
+        for (;;) {
+          std::unique_lock<std::mutex> lock(pool.mu);
+          pool.cv_start.wait(
+              lock, [&] { return pool.quit || pool.round != seen; });
+          if (pool.quit) return;
+          seen = pool.round;
+          const SimTime horizon = pool.horizon;
+          lock.unlock();
+          std::uint64_t local = 0;
+          for (int s = w; s < shards(); s += nthreads) {
+            local += drain_shard_to(*shards_[static_cast<std::size_t>(s)],
+                                    horizon);
+          }
+          lock.lock();
+          pool.round_ran += local;
+          if (--pool.working == 0) pool.cv_done.notify_one();
+        }
+      });
+    }
+  }
+
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    merge_mailboxes();
+    const SimTime floor = earliest_time_global();
+    if (floor == kNever || (bounded && floor > until)) break;
+    round_floor_ = floor;
+    // Exclusive horizon: every event strictly inside [floor, floor + L)
+    // is independent across shards by the conservative contract.  Bounded
+    // runs still execute events at exactly `until`.
+    SimTime horizon = floor + lookahead_;
+    if (bounded && horizon > until) horizon = until + 1;
+    round_horizon_ = horizon;
+    ++rounds_;
+    if (nthreads > 0) {
+      std::unique_lock<std::mutex> lock(pool.mu);
+      pool.horizon = horizon;
+      pool.working = nthreads;
+      pool.round_ran = 0;
+      ++pool.round;
+      pool.cv_start.notify_all();
+      pool.cv_done.wait(lock, [&] { return pool.working == 0; });
+      ran += pool.round_ran;
+    } else {
+      for (auto& sp : shards_) ran += drain_shard_to(*sp, horizon);
+    }
+    for (auto& sp : shards_) now_ = std::max(now_, sp->now_);
+  }
+
+  if (nthreads > 0) {
+    {
+      std::lock_guard<std::mutex> lock(pool.mu);
+      pool.quit = true;
+    }
+    pool.cv_start.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  if (bounded && now_ < until && earliest_time_global() > until) {
     now_ = until;
   }
   return ran;

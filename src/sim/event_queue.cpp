@@ -33,8 +33,8 @@ class HeapQueue final : public EventQueue {
     return ev;
   }
 
-  SimTime earliest_time() override {
-    return queue_.empty() ? kNever : queue_.top().time;
+  const Event* peek_earliest() override {
+    return queue_.empty() ? nullptr : &queue_.top();
   }
 
   bool empty() const override { return queue_.empty(); }
@@ -89,9 +89,9 @@ class CalendarQueue final : public EventQueue {
     return ev;
   }
 
-  SimTime earliest_time() override {
-    if (size_ == 0) return kNever;
-    return buckets_[locate_earliest()].front().time;
+  const Event* peek_earliest() override {
+    if (size_ == 0) return nullptr;
+    return &buckets_[locate_earliest()].front();
   }
 
   bool empty() const override { return size_ == 0; }

@@ -92,10 +92,19 @@ class EventQueue {
   /// !empty().
   virtual Event pop_earliest() = 0;
 
-  /// Time of the earliest pending event, or kNever when empty.  May
-  /// advance internal cursors (calendar day/year) but never alters the
-  /// pop sequence.
-  virtual SimTime earliest_time() = 0;
+  /// The (time, seq)-minimal pending event, or nullptr when empty.  The
+  /// sharded engine's replay drive merges shard queues by (time, seq),
+  /// so it must see the head's seq — time alone cannot break cross-shard
+  /// ties.  May advance internal cursors (calendar day/year) but never
+  /// alters the pop sequence; the pointer is invalidated by the next
+  /// push/pop.
+  virtual const Event* peek_earliest() = 0;
+
+  /// Time of the earliest pending event, or kNever when empty.
+  SimTime earliest_time() {
+    const Event* ev = peek_earliest();
+    return ev ? ev->time : kNever;
+  }
 
   virtual bool empty() const = 0;
   virtual std::size_t size() const = 0;

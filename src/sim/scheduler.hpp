@@ -1,0 +1,83 @@
+// The narrow scheduling surface protocol state machines are allowed to
+// hold.
+//
+// Everything below the Converse scheduler — the Gemini network model, the
+// uGNI CQ/SMSG emulation, the MPI library model, retry backoff timers —
+// only ever needs four things: the current virtual time, absolute and
+// relative scheduling, and cancellation.  They must never see the whole
+// sim::Engine, whose run()/run_until()/stop() surface belongs to the code
+// that *drives* the simulation (converse::Machine, benches, tests).
+// Handing an FSM a Scheduler instead of an Engine makes that split a
+// compile-time guarantee.
+//
+// sim::Engine implements this interface twice over: the engine itself is
+// a Scheduler (events land on the shard currently executing, which is
+// what implicit-context protocol code wants), and Engine::scheduler(i)
+// exposes one Scheduler per shard whose now() is that shard's local
+// clock (what per-PE code pinned to a shard wants).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "util/units.hpp"
+
+namespace ugnirt::sim {
+
+class Engine;
+
+/// Handle to a scheduled event; allows cancellation (e.g. timeouts that are
+/// disarmed when the awaited completion arrives first).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the callback from running.  Safe to call multiple times and
+  /// after the event fired (no-op).  Cancellation never touches the
+  /// queue: it flips the shared tombstone (and drops the owning shard's
+  /// live-event count) and the engine skips the dead event when it
+  /// surfaces.  Must be called from the shard that owns the event (in a
+  /// threaded window drive, the worker draining it) — the tombstone is
+  /// not synchronized against a concurrent pop.
+  void cancel();
+
+  bool valid() const { return !token_.expired(); }
+
+ private:
+  friend class Engine;
+  EventHandle(std::weak_ptr<bool> token,
+              std::weak_ptr<std::atomic<std::int64_t>> live)
+      : token_(std::move(token)), live_(std::move(live)) {}
+  std::weak_ptr<bool> token_;
+  // The owning shard's live-event counter, decremented on a successful
+  // cancel so Engine::pending() reports live events only (a cancelled-
+  // but-unpopped tombstone is not pending work).
+  std::weak_ptr<std::atomic<std::int64_t>> live_;
+};
+
+/// What a protocol state machine holds.  now()/schedule_at()/
+/// schedule_after()/cancel() — nothing else; no run/stop controls.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Current virtual time of this scheduling domain (the whole engine, or
+  /// one shard's local clock).
+  virtual SimTime now() const = 0;
+
+  /// Schedule `fn` at absolute virtual time `when` (clamped to now()).
+  virtual EventHandle schedule_at(SimTime when, std::function<void()> fn) = 0;
+
+  /// Schedule `fn` after `delay` nanoseconds.
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now() + delay, std::move(fn));
+  }
+
+  /// Disarm a previously scheduled event (sugar over EventHandle::cancel
+  /// so FSM code reads uniformly against the interface).
+  void cancel(EventHandle& handle) { handle.cancel(); }
+};
+
+}  // namespace ugnirt::sim

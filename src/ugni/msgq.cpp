@@ -83,7 +83,7 @@ gni_return_t GNI_MsgqSend(gni_nic_handle_t nic, std::int32_t remote_inst,
   q->used_bytes_ += total + kMsgqSysHeader;
   q->rx_.push_back(std::move(msg));
   if (q->notify_) {
-    dom->engine().schedule_at(arrive, [q, arrive] { q->notify_(arrive); });
+    dom->scheduler().schedule_at(arrive, [q, arrive] { q->notify_(arrive); });
   }
   if (trace::enabled()) {
     trace::emit(trace::Ev::kMsgqSend, req.issue, arrive - req.issue,

@@ -89,7 +89,7 @@ void Cq::push(SimTime at, gni_cq_entry_t entry) {
     ++dropped_events_;
     if (forced) emit_fault(at, entry.source_inst, 0);
     if (notify_) {
-      nic_->domain()->engine().schedule_at(at, [this, at] { notify_(at); });
+      nic_->domain()->scheduler().schedule_at(at, [this, at] { notify_(at); });
     }
     return;
   }
@@ -100,7 +100,7 @@ void Cq::push(SimTime at, gni_cq_entry_t entry) {
   while (it != entries_.begin() && std::prev(it)->at > at) --it;
   entries_.insert(it, Timed{at, entry});
   if (notify_) {
-    nic_->domain()->engine().schedule_at(
+    nic_->domain()->scheduler().schedule_at(
         at, [this, at] { notify_(at); });
   }
 }
@@ -608,7 +608,7 @@ gni_return_t GNI_SmsgRelease(gni_ep_handle_t ep) {
                          nic->node(), remote->node())) *
                      dom->config().hop_ns;
       SimTime at = ctx().now() + prop;
-      dom->engine().schedule_at(at, [sender_ep, remote, at] {
+      dom->scheduler().schedule_at(at, [sender_ep, remote, at] {
         ++sender_ep->smsg_.credits;
         if (remote->credit_notify_) remote->credit_notify_(at);
       });

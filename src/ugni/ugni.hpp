@@ -529,7 +529,7 @@ class Domain {
 
   gemini::Network& network() const { return *network_; }
   const gemini::MachineConfig& config() const { return network_->config(); }
-  sim::Engine& engine() const { return network_->engine(); }
+  sim::Scheduler& scheduler() const { return network_->scheduler(); }
 
   /// O(1) instance lookup (hash index) — on the per-send hot path, so it
   /// must not scan the NIC table (153k NICs at full-machine scale).

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "sim/context.hpp"
+#include "sim/engine.hpp"
 #include "ugni/dmapp.hpp"
 
 namespace ugnirt::dmapp {
@@ -28,7 +29,7 @@ class DmappFixture : public ::testing::Test {
 
   sim::Context& ctx(int i) { return *ctx_[static_cast<std::size_t>(i)]; }
 
-  sim::Engine engine_;
+  sim::Engine engine_{sim::EngineOptions{}};
   std::unique_ptr<gemini::Network> net_;
   std::unique_ptr<ugni::Domain> dom_;
   std::vector<std::unique_ptr<sim::Context>> ctx_;

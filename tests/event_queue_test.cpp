@@ -167,7 +167,7 @@ TEST(CalendarQueue, ChurnAcrossResizes) {
 class EngineBackend : public ::testing::TestWithParam<QueueKind> {};
 
 TEST_P(EngineBackend, RunsEventsInTimeOrder) {
-  Engine e(GetParam());
+  Engine e{EngineOptions{.queue = GetParam()}};
   EXPECT_STREQ(to_string(e.queue_kind()), to_string(GetParam()));
   std::vector<int> order;
   e.schedule_at(30, [&] { order.push_back(3); });
@@ -179,7 +179,7 @@ TEST_P(EngineBackend, RunsEventsInTimeOrder) {
 }
 
 TEST_P(EngineBackend, TiesBreakInSchedulingOrder) {
-  Engine e(GetParam());
+  Engine e{EngineOptions{.queue = GetParam()}};
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     e.schedule_at(5, [&order, i] { order.push_back(i); });
@@ -189,7 +189,7 @@ TEST_P(EngineBackend, TiesBreakInSchedulingOrder) {
 }
 
 TEST_P(EngineBackend, CancelPreventsExecution) {
-  Engine e(GetParam());
+  Engine e{EngineOptions{.queue = GetParam()}};
   bool ran = false;
   auto h = e.schedule_at(10, [&] { ran = true; });
   h.cancel();
@@ -198,7 +198,7 @@ TEST_P(EngineBackend, CancelPreventsExecution) {
 }
 
 TEST_P(EngineBackend, RunUntilStopsAtBoundary) {
-  Engine e(GetParam());
+  Engine e{EngineOptions{.queue = GetParam()}};
   std::vector<SimTime> fired;
   for (SimTime t = 100; t <= 1000; t += 100) {
     e.schedule_at(t, [&fired, t] { fired.push_back(t); });
@@ -211,7 +211,7 @@ TEST_P(EngineBackend, RunUntilStopsAtBoundary) {
 }
 
 TEST_P(EngineBackend, EventsCanScheduleMoreEvents) {
-  Engine e(GetParam());
+  Engine e{EngineOptions{.queue = GetParam()}};
   int count = 0;
   std::function<void()> chain = [&] {
     if (++count < 100) e.schedule_after(7, chain);

@@ -17,6 +17,7 @@
 #include "fault/retry.hpp"
 #include "lrts/runtime.hpp"
 #include "sim/context.hpp"
+#include "sim/engine.hpp"
 #include "trace/events.hpp"
 #include "trace/metrics.hpp"
 #include "ugni/ugni.hpp"
@@ -298,7 +299,7 @@ TEST(FaultMpi, KNeighborSurvivesCombinedFaults) {
 // wedged the NIC for the rest of the run.  GNI_CqErrorRecover must clear
 // the latch and re-synthesize the dropped arrival events.
 TEST(CqOverrun, RecoverUnlatchesAndResynthesizesDroppedEvents) {
-  sim::Engine engine;
+  sim::Engine engine{sim::EngineOptions{}};
   gemini::Network net(engine, topo::Torus3D::for_nodes(8),
                       gemini::MachineConfig{});
   ugni::Domain dom(net);

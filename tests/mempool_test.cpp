@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "mempool/mempool.hpp"
 #include "util/rng.hpp"
 
@@ -28,7 +29,7 @@ class MemPoolFixture : public ::testing::Test {
     pool_.reset();
   }
 
-  sim::Engine engine_;
+  sim::Engine engine_{sim::EngineOptions{}};
   std::unique_ptr<gemini::Network> net_;
   std::unique_ptr<ugni::Domain> dom_;
   std::unique_ptr<sim::Context> ctx_;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "mpilite/mpilite.hpp"
 
 namespace ugnirt::mpilite {
@@ -39,7 +40,7 @@ class MpiFixture : public ::testing::Test {
     FAIL() << "message never arrived";
   }
 
-  sim::Engine engine_;
+  sim::Engine engine_{sim::EngineOptions{}};
   std::unique_ptr<gemini::Network> net_;
   std::unique_ptr<MpiComm> comm_;
   std::vector<std::unique_ptr<sim::Context>> ctx_;

@@ -7,6 +7,7 @@
 #include "lrts/runtime.hpp"
 #include "lrts/ugni_layer.hpp"
 #include "sim/context.hpp"
+#include "sim/engine.hpp"
 #include "ugni/msgq.hpp"
 
 namespace ugnirt {
@@ -32,7 +33,7 @@ class MsgqFixture : public ::testing::Test {
 
   sim::Context& ctx(int i) { return *ctx_[static_cast<std::size_t>(i)]; }
 
-  sim::Engine engine_;
+  sim::Engine engine_{sim::EngineOptions{}};
   std::unique_ptr<gemini::Network> net_;
   std::unique_ptr<ugni::Domain> dom_;
   std::vector<std::unique_ptr<sim::Context>> ctx_;

@@ -24,6 +24,7 @@
 #include "lrts/runtime.hpp"
 #include "lrts/ugni_layer.hpp"
 #include "sim/context.hpp"
+#include "sim/engine.hpp"
 #include "trace/events.hpp"
 #include "ugni/ugni.hpp"
 
@@ -43,21 +44,32 @@ using converse::MachineOptions;
 
 /// Seeded faulty k-neighbor on the uGNI layer; returns the full event
 /// trace CSV.  The workload exercises SMSG, rendezvous, credit stalls and
-/// retries, so any divergence in event order between queue backends shows
-/// up as a trace mismatch.
-std::string traced_run(sim::QueueKind queue) {
+/// retries — and with `all_subsystems`, aggregation and flow control on
+/// top — so any divergence in event order between queue backends or
+/// engine shard counts shows up as a trace mismatch.
+std::string traced_run(sim::QueueKind queue, int shards = 1,
+                       bool all_subsystems = false) {
   trace::EventTracer tracer(1u << 18);
   trace::set_tracer(&tracer);
   MachineOptions o;
-  o.pes = 6;
-  o.pes_per_node = 2;
+  // One PE per node so shard counts up to 8 stay unclamped (shards are
+  // node slabs; 12 nodes cover the {1, 2, 8} matrix).
+  o.pes = 12;
+  o.pes_per_node = 1;
   o.sim_queue = queue;
+  o.sim_shards = shards;
   o.fault.enabled = true;
   o.fault.seed = 0x5CA1E;
   o.fault.p_smsg_error = 0.2;
   o.fault.p_post_error = 0.2;
+  if (all_subsystems) {
+    o.aggregation.enable = true;
+    o.flow.enable = true;
+    o.flow.adaptive_routing = true;
+  }
   auto m = lrts::make_machine(LayerKind::kUgni, o);
   EXPECT_EQ(m->engine().queue_kind(), queue);
+  EXPECT_EQ(m->engine().shards(), shards);
   const int pes = o.pes;
   std::vector<int> received(static_cast<std::size_t>(pes), 0);
   int h = m->register_handler([&](void* msg) {
@@ -95,6 +107,40 @@ TEST(QueueBackends, SeededTraceIsBitIdenticalAcrossBackends) {
   EXPECT_EQ(heap, cal);
 }
 
+// ------------------------------------------------- sharded determinism ----
+
+/// The replay drive's whole-machine determinism claim: partitioning the
+/// pending set must not change anything observable.  The seeded faulty
+/// run traces bit-identically across shard counts and both queue
+/// backends.
+TEST(ShardedReplay, SeededTraceIsBitIdenticalAcrossShardCounts) {
+  const std::string reference = traced_run(sim::QueueKind::kHeap, 1);
+  EXPECT_FALSE(reference.empty());
+  for (sim::QueueKind queue :
+       {sim::QueueKind::kHeap, sim::QueueKind::kCalendar}) {
+    for (int shards : {1, 2, 8}) {
+      EXPECT_EQ(reference, traced_run(queue, shards))
+          << "queue=" << sim::to_string(queue) << " shards=" << shards;
+    }
+  }
+}
+
+/// Same matrix with every optional subsystem armed — faults, aggregation
+/// and congestion control all schedule their own timers and reroute
+/// traffic, so this is the adversarial case for cross-shard ordering.
+TEST(ShardedReplay, AllSubsystemsTraceIsBitIdenticalAcrossShardCounts) {
+  const std::string reference =
+      traced_run(sim::QueueKind::kHeap, 1, /*all_subsystems=*/true);
+  EXPECT_FALSE(reference.empty());
+  for (sim::QueueKind queue :
+       {sim::QueueKind::kHeap, sim::QueueKind::kCalendar}) {
+    for (int shards : {2, 8}) {
+      EXPECT_EQ(reference, traced_run(queue, shards, true))
+          << "queue=" << sim::to_string(queue) << " shards=" << shards;
+    }
+  }
+}
+
 // ------------------------------------------------- first-touch channels ----
 
 /// Minimal two-NIC harness with the per-NIC defaults a machine layer sets
@@ -127,7 +173,7 @@ class LazyConnectFixture : public ::testing::Test {
     return 8ull * (1024 + 16);
   }
 
-  sim::Engine engine_;
+  sim::Engine engine_{sim::EngineOptions{}};
   std::unique_ptr<gemini::Network> net_;
   std::unique_ptr<ugni::Domain> dom_;
   std::unique_ptr<sim::Context> ctx_[2];

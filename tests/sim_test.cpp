@@ -9,7 +9,7 @@ namespace ugnirt::sim {
 namespace {
 
 TEST(Engine, RunsEventsInTimeOrder) {
-  Engine e;
+  Engine e{EngineOptions{}};
   std::vector<int> order;
   e.schedule_at(30, [&] { order.push_back(3); });
   e.schedule_at(10, [&] { order.push_back(1); });
@@ -20,7 +20,7 @@ TEST(Engine, RunsEventsInTimeOrder) {
 }
 
 TEST(Engine, TiesBreakInSchedulingOrder) {
-  Engine e;
+  Engine e{EngineOptions{}};
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     e.schedule_at(5, [&order, i] { order.push_back(i); });
@@ -30,7 +30,7 @@ TEST(Engine, TiesBreakInSchedulingOrder) {
 }
 
 TEST(Engine, PastTimesClampToNow) {
-  Engine e;
+  Engine e{EngineOptions{}};
   SimTime seen = -1;
   e.schedule_at(100, [&] {
     e.schedule_at(50, [&] { seen = e.now(); });  // in the past
@@ -40,7 +40,7 @@ TEST(Engine, PastTimesClampToNow) {
 }
 
 TEST(Engine, EventsCanScheduleMoreEvents) {
-  Engine e;
+  Engine e{EngineOptions{}};
   int count = 0;
   std::function<void()> chain = [&] {
     if (++count < 5) e.schedule_after(10, chain);
@@ -52,7 +52,7 @@ TEST(Engine, EventsCanScheduleMoreEvents) {
 }
 
 TEST(Engine, CancelPreventsExecution) {
-  Engine e;
+  Engine e{EngineOptions{}};
   bool ran = false;
   auto h = e.schedule_at(10, [&] { ran = true; });
   h.cancel();
@@ -62,7 +62,7 @@ TEST(Engine, CancelPreventsExecution) {
 }
 
 TEST(Engine, CancelAfterFireIsSafe) {
-  Engine e;
+  Engine e{EngineOptions{}};
   bool ran = false;
   auto h = e.schedule_at(10, [&] { ran = true; });
   e.run();
@@ -72,7 +72,7 @@ TEST(Engine, CancelAfterFireIsSafe) {
 }
 
 TEST(Engine, StopInterruptsRun) {
-  Engine e;
+  Engine e{EngineOptions{}};
   int count = 0;
   for (int i = 0; i < 10; ++i) {
     e.schedule_at(i * 10, [&] {
@@ -88,7 +88,7 @@ TEST(Engine, StopInterruptsRun) {
 }
 
 TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
-  Engine e;
+  Engine e{EngineOptions{}};
   std::vector<SimTime> fired;
   for (SimTime t : {10, 20, 30, 40}) {
     e.schedule_at(t, [&fired, &e] { fired.push_back(e.now()); });
@@ -102,7 +102,7 @@ TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
 
 TEST(Engine, DeterministicAcrossRuns) {
   auto run_once = [] {
-    Engine e;
+    Engine e{EngineOptions{}};
     std::vector<std::pair<SimTime, int>> log;
     for (int i = 0; i < 50; ++i) {
       e.schedule_at((i * 7) % 13, [&log, i, &e] {
@@ -119,7 +119,7 @@ TEST(Engine, DeterministicAcrossRuns) {
 }
 
 TEST(Context, ChargeAdvancesCursorAndTotals) {
-  Engine e;
+  Engine e{EngineOptions{}};
   Context c(e, 3);
   EXPECT_EQ(c.pe(), 3);
   EXPECT_EQ(c.now(), 0);
@@ -131,7 +131,7 @@ TEST(Context, ChargeAdvancesCursorAndTotals) {
 }
 
 TEST(Context, WaitUntilOnlyMovesForward) {
-  Engine e;
+  Engine e{EngineOptions{}};
   Context c(e, 0);
   c.set_now(100);
   c.wait_until(50);  // no-op
@@ -142,7 +142,7 @@ TEST(Context, WaitUntilOnlyMovesForward) {
 }
 
 TEST(Context, ScopedContextNestsCorrectly) {
-  Engine e;
+  Engine e{EngineOptions{}};
   Context outer(e, 1);
   Context inner(e, 2);
   EXPECT_EQ(current(), nullptr);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/context.hpp"
+#include "sim/engine.hpp"
 #include "ugni/ugni.hpp"
 #include "util/rng.hpp"
 
@@ -46,7 +47,7 @@ class UgniPropertyFixture : public ::testing::Test {
 
   sim::Context& ctx(int i) { return *ctx_[static_cast<std::size_t>(i)]; }
 
-  sim::Engine engine_;
+  sim::Engine engine_{sim::EngineOptions{}};
   std::unique_ptr<gemini::Network> net_;
   std::unique_ptr<Domain> dom_;
   std::vector<std::unique_ptr<sim::Context>> ctx_;

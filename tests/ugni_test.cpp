@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/context.hpp"
+#include "sim/engine.hpp"
 #include "ugni/ugni.hpp"
 
 namespace ugnirt::ugni {
@@ -46,7 +47,7 @@ class UgniFixture : public ::testing::Test {
                             nullptr, 0, 0, tag);
   }
 
-  sim::Engine engine_;
+  sim::Engine engine_{sim::EngineOptions{}};
   std::unique_ptr<gemini::Network> net_;
   std::unique_ptr<Domain> dom_;
   std::unique_ptr<sim::Context> ctx_[2];

@@ -19,6 +19,8 @@ Usage:
   bench_report.py report BENCH_core.json [BENCH_scale.json ...]
   bench_report.py compare --baseline bench/baselines --current . \
       [--tolerance 0.15] [BENCH_core.json BENCH_scale.json]
+  bench_report.py check BENCH_scale.json \
+      --min pes65536.hold.heap.shards8.speedup_vs_shards1_x=1.5
 """
 
 import argparse
@@ -41,6 +43,10 @@ def flatten(doc):
         if "pattern" in point:
             prefix = "pes%d.%s.%s." % (
                 point["pes"], point["pattern"], point.get("queue", "heap"))
+            # Sharded points carry an extra coordinate; shards=1 rows omit
+            # the field so pre-shard baseline keys stay stable.
+            if "shards" in point:
+                prefix += "shards%d." % point["shards"]
         for name, m in point["metrics"].items():
             yield (prefix + name, m["value"], m.get("better", "info"),
                    m.get("unit", ""))
@@ -96,6 +102,37 @@ def compare_one(name, base, cur, tolerance):
     return regressions, lines
 
 
+def cmd_check(args):
+    """Gate absolute metric floors: check FILE --min key=value [...]"""
+    if not os.path.exists(args.file):
+        print("MISSING: %s" % args.file)
+        return 1
+    metrics = load(args.file)
+    failures = []
+    for spec in args.min or []:
+        key, _, floor_s = spec.partition("=")
+        if not floor_s:
+            print("bad --min spec (want key=value): %s" % spec)
+            return 2
+        floor = float(floor_s)
+        if key not in metrics:
+            failures.append("%s: metric missing (floor %.3f)" % (key, floor))
+            continue
+        value = metrics[key][0]
+        ok = value >= floor
+        print("  %-52s %14.3f >= %10.3f  %s"
+              % (key, value, floor, "ok" if ok else "FAIL"))
+        if not ok:
+            failures.append("%s: %.3f below floor %.3f" % (key, value, floor))
+    if failures:
+        print("\nFAIL: %d floor(s) not met:" % len(failures))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nOK: all %d floor(s) met" % len(args.min or []))
+    return 0
+
+
 def cmd_compare(args):
     files = args.files or DEFAULT_FILES
     tolerance = args.tolerance
@@ -138,6 +175,14 @@ def main(argv):
     p_cmp.add_argument("--tolerance", type=float, default=0.15)
     p_cmp.add_argument("files", nargs="*")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_chk = sub.add_parser(
+        "check", help="gate absolute floors, e.g. shard speedups")
+    p_chk.add_argument("file")
+    p_chk.add_argument(
+        "--min", action="append", metavar="KEY=VALUE",
+        help="fail unless flattened metric KEY is >= VALUE (repeatable)")
+    p_chk.set_defaults(func=cmd_check)
 
     args = ap.parse_args(argv)
     return args.func(args)

@@ -72,6 +72,42 @@ if [ -n "$eager" ]; then
   status=1
 fi
 
+# 5. The old Engine constructors are gone: Engine() sniffed UGNIRT_SIM_QUEUE
+#    from the environment and Engine(QueueKind) predated sharding.  All
+#    construction goes through explicit sim::EngineOptions now — tests use
+#    EngineOptions{} (hermetic defaults), drivers opt into the environment
+#    with EngineOptions::from_env().  queue_kind_from_env() is the from_env
+#    helper's implementation detail and must not be called outside src/sim.
+#    Matched shapes: the ctor declarations themselves (Engine(); /
+#    Engine(QueueKind)) and instances built from a bare QueueKind
+#    (Engine name{QueueKind...}).  Plain member declarations
+#    (sim::Engine engine_;) are fine — with no default ctor the compiler
+#    already forces an EngineOptions initializer.
+legacy_ctor=$(grep -rEn \
+    -e 'Engine[[:space:]]*\([[:space:]]*\)[[:space:]]*;' \
+    -e 'Engine[[:space:]]*\([[:space:]]*(sim::)?QueueKind' \
+    -e '\bEngine[[:space:]]+[[:alnum:]_]+[[:space:]]*[({][[:space:]]*(sim::)?QueueKind' \
+    -e 'new[[:space:]]+(sim::)?Engine[[:space:]]*[({][[:space:]]*(sim::)?QueueKind' \
+    --include='*.cpp' --include='*.hpp' --include='*.h' \
+    src bench examples tests 2>/dev/null \
+    | grep -v 'EngineOptions' | grep -v '~Engine')
+if [ -n "$legacy_ctor" ]; then
+  echo "error: legacy sim::Engine constructors were removed; construct with" >&2
+  echo "sim::EngineOptions{...} or sim::EngineOptions::from_env():" >&2
+  echo "$legacy_ctor" >&2
+  status=1
+fi
+env_sniff=$(grep -rEn '\bqueue_kind_from_env[[:space:]]*\(' \
+    --include='*.cpp' --include='*.hpp' --include='*.h' \
+    src bench examples tests 2>/dev/null \
+    | grep -v '^src/sim/')
+if [ -n "$env_sniff" ]; then
+  echo "error: queue_kind_from_env() is private to src/sim; callers must" >&2
+  echo "use sim::EngineOptions::from_env() for environment-driven config:" >&2
+  echo "$env_sniff" >&2
+  status=1
+fi
+
 if [ "$status" -ne 0 ]; then
   exit 1
 fi
