@@ -46,7 +46,7 @@ BENCHMARK(BM_TorusRoute);
 
 void BM_NetworkTransfer(benchmark::State& state) {
   sim::Engine engine{sim::EngineOptions::from_env()};
-  gemini::Network net(engine, topo::Torus3D::for_nodes(64),
+  gemini::Network net(engine.scheduler(), topo::Torus3D::for_nodes(64),
                       gemini::MachineConfig{});
   SimTime t = 0;
   int i = 0;
@@ -68,10 +68,10 @@ BENCHMARK(BM_NetworkTransfer);
 
 void BM_MemPoolAllocFree(benchmark::State& state) {
   sim::Engine engine{sim::EngineOptions::from_env()};
-  gemini::Network net(engine, topo::Torus3D::for_nodes(2),
+  gemini::Network net(engine.scheduler(), topo::Torus3D::for_nodes(2),
                       gemini::MachineConfig{});
   ugni::Domain dom(net);
-  sim::Context ctx(engine, 0);
+  sim::Context ctx(engine.scheduler(), 0);
   sim::ScopedContext guard(ctx);
   ugni::gni_nic_handle_t nic = nullptr;
   ugni::GNI_CdmAttach(&dom, 0, 0, &nic);

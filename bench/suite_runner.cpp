@@ -106,6 +106,17 @@ void with_span_metrics(const std::string& prefix, std::vector<Metric>& out,
   }
 }
 
+double find_value(const std::vector<Metric>& ms, const std::string& name) {
+  for (const Metric& m : ms) {
+    if (m.name == name) return m.value;
+  }
+  return 0;
+}
+
+std::vector<Metric> run_hold_point(int held, sim::QueueKind queue,
+                                   int shards, int threads = 0,
+                                   bool arena = true);
+
 std::vector<Metric> run_core() {
   std::vector<Metric> ms;
 
@@ -158,6 +169,37 @@ std::vector<Metric> run_core() {
     pp.payload = 8;
     apps::bench::charm_pingpong(ugni_options(), pp);
   });
+
+  // Host hot-path A/Bs (micro_dispatch's headline numbers, captured as
+  // informational trend lines): slab-recycling event arena vs fresh-carve
+  // records on the hold model, and flat kind-table dispatch vs the classic
+  // branch path on the flood.  Virtual-time results are identical across
+  // variants by construction — only the wall-clock rates move.
+  {
+    const std::vector<Metric> on = run_hold_point(
+        16384, sim::QueueKind::kCalendar, 1, 0, /*arena=*/true);
+    const std::vector<Metric> off = run_hold_point(
+        16384, sim::QueueKind::kCalendar, 1, 0, /*arena=*/false);
+    const double r_on = find_value(on, "sim_events_per_wall_sec");
+    const double r_off = find_value(off, "sim_events_per_wall_sec");
+    ms.push_back(
+        {"hold_arena_events_per_wall_sec", r_on, "events/s", "info"});
+    ms.push_back(
+        {"hold_freshcarve_events_per_wall_sec", r_off, "events/s", "info"});
+    ms.push_back(
+        {"arena_speedup_x", r_off > 0 ? r_on / r_off : 0, "x", "info"});
+  }
+  {
+    converse::MachineOptions classic_opts = ugni_options(16);
+    classic_opts.flat_dispatch = false;
+    const auto c0 = std::chrono::steady_clock::now();
+    apps::bench::charm_kneighbor_flood(classic_opts, 64);
+    const double classic_wall = wall_ms_since(c0);
+    ms.push_back({"flood_classic_wall_ms", classic_wall, "ms", "info"});
+    ms.push_back({"flat_dispatch_speedup_x",
+                  flood_wall > 0 ? classic_wall / flood_wall : 0, "x",
+                  "info"});
+  }
 
   return ms;
 }
@@ -239,8 +281,8 @@ std::vector<Metric> run_scale_point(int pes, const std::string& pattern,
 /// depth), not thread parallelism.  Timers are shard-confined (slab
 /// placement, like the machine's PEs), strides are a deterministic LCG.
 std::vector<Metric> run_hold_point(int held, sim::QueueKind queue,
-                                   int shards, int threads = 0) {
-  // 16-byte functor: rescheduling stays in std::function's inline buffer.
+                                   int shards, int threads, bool arena) {
+  // 16-byte functor: rescheduling stays in SmallFn's inline buffer.
   struct Timer {
     sim::Engine* eng;
     int shard;
@@ -266,6 +308,7 @@ std::vector<Metric> run_hold_point(int held, sim::QueueKind queue,
     eo.mode = sim::DriveMode::kWindow;
     eo.lookahead_ns = 1024;
     eo.threads = threads;
+    eo.arena = arena;
     sim::Engine e(eo);
     for (int i = 0; i < held; ++i) {
       const int shard = static_cast<int>(
@@ -338,13 +381,6 @@ std::vector<SweepPoint> sweep_points() {
     }
   }
   return pts;
-}
-
-double find_value(const std::vector<Metric>& ms, const std::string& name) {
-  for (const Metric& m : ms) {
-    if (m.name == name) return m.value;
-  }
-  return 0;
 }
 
 void write_scale(const char* path) {

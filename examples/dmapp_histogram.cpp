@@ -26,13 +26,13 @@ int main(int argc, char** argv) {
   const int bins = argc > 3 ? std::atoi(argv[3]) : 64;
 
   sim::Engine engine{sim::EngineOptions::from_env()};
-  gemini::Network network(engine, topo::Torus3D::for_nodes((pes + 1) / 2),
+  gemini::Network network(engine.scheduler(), topo::Torus3D::for_nodes((pes + 1) / 2),
                           gemini::MachineConfig{});
   ugni::Domain domain(network);
 
   std::vector<std::unique_ptr<sim::Context>> ctx;
   for (int pe = 0; pe < pes; ++pe) {
-    ctx.push_back(std::make_unique<sim::Context>(engine, pe));
+    ctx.push_back(std::make_unique<sim::Context>(engine.scheduler(), pe));
   }
 
   sim::ScopedContext boot(*ctx[0]);

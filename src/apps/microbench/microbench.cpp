@@ -29,7 +29,7 @@ using converse::Machine;
 SimTime raw_mechanism_latency(const gemini::MachineConfig& mc,
                               gemini::Mechanism mech, std::uint64_t bytes) {
   sim::Engine engine{sim::EngineOptions::from_env()};
-  gemini::Network net(engine, topo::Torus3D::for_nodes(8), mc);
+  gemini::Network net(engine.scheduler(), topo::Torus3D::for_nodes(8), mc);
   gemini::TransferRequest req;
   req.mech = mech;
   req.initiator_node = 0;
@@ -51,10 +51,10 @@ SimTime raw_mechanism_latency(const gemini::MachineConfig& mc,
 SimTime pure_ugni_pingpong(const gemini::MachineConfig& mc,
                            std::uint32_t bytes, int iters) {
   sim::Engine engine{sim::EngineOptions::from_env()};
-  gemini::Network net(engine, topo::Torus3D::for_nodes(8), mc);
+  gemini::Network net(engine.scheduler(), topo::Torus3D::for_nodes(8), mc);
   ugni::Domain dom(net);
 
-  sim::Context ctx[2] = {sim::Context(engine, 0), sim::Context(engine, 1)};
+  sim::Context ctx[2] = {sim::Context(engine.scheduler(), 0), sim::Context(engine.scheduler(), 1)};
   ugni::gni_nic_handle_t nic[2];
   ugni::gni_cq_handle_t rx[2], tx[2];
   ugni::gni_ep_handle_t ep[2];
@@ -152,11 +152,11 @@ SimTime pure_mpi_pingpong(const gemini::MachineConfig& mc,
                           std::uint32_t bytes, bool same_buffer,
                           bool intranode, int iters) {
   sim::Engine engine{sim::EngineOptions::from_env()};
-  gemini::Network net(engine, topo::Torus3D::for_nodes(4), mc);
+  gemini::Network net(engine.scheduler(), topo::Torus3D::for_nodes(4), mc);
   mpilite::MpiComm comm(net, 2, [intranode](int rank) {
     return intranode ? 0 : rank;
   });
-  sim::Context ctx[2] = {sim::Context(engine, 0), sim::Context(engine, 1)};
+  sim::Context ctx[2] = {sim::Context(engine.scheduler(), 0), sim::Context(engine.scheduler(), 1)};
   for (int i = 0; i < 2; ++i) {
     sim::ScopedContext g(ctx[i]);
     comm.init_rank(i);

@@ -125,6 +125,19 @@ struct MachineOptions {
   /// bounds any cross-node effect.
   SimTime sim_lookahead_ns = 0;
 
+  /// Recycle engine event records through the per-shard slab arenas
+  /// ("sim.arena" / UGNIRT_SIM_ARENA).  false is the A/B measurement
+  /// baseline (one fresh record per event); scheduling semantics are
+  /// bit-identical either way.
+  bool sim_arena = true;
+
+  /// Dispatch messages through the flat per-kind handler table
+  /// ("sim.flat_dispatch" / UGNIRT_SIM_FLAT_DISPATCH).  false falls back
+  /// to the classic branch chain; both paths charge and trace the exact
+  /// same sequence — the toggle exists for the bit-identity guard test
+  /// and A/B measurement.
+  bool flat_dispatch = true;
+
   /// PEs per node; 0 means "use mc.cores_per_node".  Micro-benchmarks that
   /// place each rank on its own node set this to 1.
   int pes_per_node = 0;
@@ -316,7 +329,7 @@ class Machine {
   sim::Engine& engine() { return engine_; }
   /// The engine's global scheduling surface (events land on the shard
   /// currently executing).
-  sim::Scheduler& scheduler() { return engine_; }
+  sim::Scheduler& scheduler() { return engine_.scheduler(); }
   /// The per-shard scheduler a node's (or PE's) events belong to.
   sim::Scheduler& scheduler_for_node(int node) {
     return engine_.scheduler(shard_of_node(node));
@@ -404,6 +417,21 @@ class Machine {
   friend class Pe;
 
   void dispatch(Pe& pe, void* msg);
+  /// The pre-flat-table dispatcher: a branch chain re-reading the flags
+  /// word at every decision.  Kept as the independent reference the
+  /// bit-identity guard test compares the flat table against
+  /// (MachineOptions::flat_dispatch = false).
+  void dispatch_classic(Pe& pe, void* msg);
+  /// One flat-table entry: the System/Bcast/AggBatch decisions are baked
+  /// into the instantiation, so dispatch costs one indexed indirect call
+  /// instead of the chain.  Charges and trace marks are identical to
+  /// dispatch_classic by construction.
+  template <bool kSystem, bool kBcast, bool kBatch>
+  void dispatch_kind(Pe& pe, void* msg);
+  void dispatch_batch(Pe& pe, void* msg);
+  using DispatchFn = void (Machine::*)(Pe&, void*);
+  /// Indexed by message kind: bit0 = System, bit1 = Bcast, bit2 = AggBatch.
+  static const DispatchFn kDispatchTable[8];
   void forward_broadcast(Pe& pe, void* msg);
   void* clone_runtime_owned(Pe& src, void* msg);
 

@@ -25,6 +25,8 @@ std::unique_ptr<converse::Machine> make_machine(
     cfg.set("sim.queue", sim::to_string(options.sim_queue));
     cfg.set("sim.shards", std::to_string(options.sim_shards));
     cfg.set("sim.lookahead_ns", std::to_string(options.sim_lookahead_ns));
+    cfg.set("sim.arena", options.sim_arena ? "1" : "0");
+    cfg.set("sim.flat_dispatch", options.flat_dispatch ? "1" : "0");
     cfg.apply_env_overrides();
     options.mc = gemini::MachineConfig::from(cfg);
     options.fault = fault::FaultPlan::from(cfg);
@@ -36,6 +38,8 @@ std::unique_ptr<converse::Machine> make_machine(
     options.sim_shards = static_cast<int>(cfg.get_int_or("sim.shards", 1));
     options.sim_lookahead_ns =
         static_cast<SimTime>(cfg.get_int_or("sim.lookahead_ns", 0));
+    options.sim_arena = cfg.get_int_or("sim.arena", 1) != 0;
+    options.flat_dispatch = cfg.get_int_or("sim.flat_dispatch", 1) != 0;
   }
   std::unique_ptr<converse::MachineLayer> layer;
   switch (kind) {

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "lrts/pool_metrics.hpp"
 #include "lrts/span_marks.hpp"
 #include "trace/events.hpp"
 #include "trace/spans.hpp"
@@ -207,23 +208,7 @@ LayerStats SmpLayer::stats() const {
 
 void SmpLayer::collect_metrics(trace::MetricsRegistry& reg) {
   if (domain_) domain_->collect_metrics(reg);
-  mempool::MemPoolStats pool;
-  for (const auto& n : nodes_) {
-    if (!n || !n->pool) continue;
-    const mempool::MemPoolStats& p = n->pool->stats();
-    pool.allocs += p.allocs;
-    pool.frees += p.frees;
-    pool.expansions += p.expansions;
-    pool.slab_bytes += p.slab_bytes;
-    pool.outstanding += p.outstanding;
-    pool.freelist_hits += p.freelist_hits;
-  }
-  reg.counter("mempool.allocs").set(pool.allocs);
-  reg.counter("mempool.frees").set(pool.frees);
-  reg.counter("mempool.expansions").set(pool.expansions);
-  reg.counter("mempool.freelist_hits").set(pool.freelist_hits);
-  reg.gauge("mempool.slab_bytes").set(static_cast<double>(pool.slab_bytes));
-  reg.gauge("mempool.outstanding").set(static_cast<double>(pool.outstanding));
+  collect_pool_metrics(reg, nodes_);
 }
 
 // ---------------------------------------------------------------------------

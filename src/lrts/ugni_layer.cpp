@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "aggregation/frame.hpp"
+#include "lrts/pool_metrics.hpp"
 #include "lrts/span_marks.hpp"
 #include "trace/events.hpp"
 #include "trace/spans.hpp"
@@ -137,6 +138,13 @@ struct UgniLayer::PeState final : converse::LayerPeState {
   // governor (AIMD window full); drained FIFO from advance().
   std::deque<std::uint64_t> deferred_gets;
 
+  // One-entry endpoint memo for the rx drain loop: bursts of SMSG events
+  // from one peer resolve the endpoint once instead of one hash lookup
+  // per event.  Endpoints are never destroyed while the domain lives, so
+  // the memo cannot dangle.
+  std::int32_t last_peer = -1;
+  ugni::gni_ep_handle_t last_ep = nullptr;
+
   ~PeState() override {
     for (auto& p : backlog) {
       if (p.msg) ::operator delete[](p.msg, std::align_val_t{16});
@@ -180,23 +188,7 @@ LayerStats UgniLayer::stats() const {
 void UgniLayer::collect_metrics(trace::MetricsRegistry& reg) {
   if (domain_) domain_->collect_metrics(reg);
   if (governor_) governor_->collect_metrics(reg);
-  mempool::MemPoolStats pool;
-  for (const PeState* s : states_) {
-    if (!s || !s->pool) continue;
-    const mempool::MemPoolStats& p = s->pool->stats();
-    pool.allocs += p.allocs;
-    pool.frees += p.frees;
-    pool.expansions += p.expansions;
-    pool.slab_bytes += p.slab_bytes;
-    pool.outstanding += p.outstanding;
-    pool.freelist_hits += p.freelist_hits;
-  }
-  reg.counter("mempool.allocs").set(pool.allocs);
-  reg.counter("mempool.frees").set(pool.frees);
-  reg.counter("mempool.expansions").set(pool.expansions);
-  reg.counter("mempool.freelist_hits").set(pool.freelist_hits);
-  reg.gauge("mempool.slab_bytes").set(static_cast<double>(pool.slab_bytes));
-  reg.gauge("mempool.outstanding").set(static_cast<double>(pool.outstanding));
+  collect_pool_metrics(reg, states_);
 }
 
 UgniLayer::PeState& UgniLayer::state(converse::Pe& pe) {
@@ -238,6 +230,8 @@ void UgniLayer::ensure_domain(converse::Machine& m) {
         m.options().effective_pes_per_node()));
   }
   smsg_cap_ = m.options().mc.smsg_max_for_job(m.num_pes());
+  use_pxshm_ = m.options().use_pxshm;
+  use_msgq_ = m.options().use_msgq;
   UGNIRT_DEBUG("uGNI layer up: " << m.num_pes() << " PEs, smsg cap "
                                  << smsg_cap_ << " B");
 }
@@ -290,7 +284,7 @@ ugni::gni_ep_handle_t UgniLayer::connect(PeState& src, int dest_pe) {
   assert(ep && "get_or_connect failed: unknown peer or NIC not configured");
   // get_or_connect charged the initiator for both mailbox pins (nothing
   // in MSGQ mode); mirror the two registrations into the layer counter.
-  if (established && !machine_->options().use_msgq) {
+  if (established && !use_msgq_) {
     c_registrations_->inc(2);
   }
   return ep;
@@ -351,7 +345,7 @@ void UgniLayer::free_msg(sim::Context& ctx, converse::Pe& pe, void* msg) {
 void UgniLayer::smsg_send(sim::Context& ctx, PeState& src, int dest_pe,
                           std::uint8_t tag, const void* bytes,
                           std::uint32_t len, void* owned_msg) {
-  const bool msgq_mode = machine_->options().use_msgq;
+  const bool msgq_mode = use_msgq_;
   ugni::gni_ep_handle_t ep = nullptr;
   if (!msgq_mode) ep = connect(src, dest_pe);
   if (src.backlog.empty()) {
@@ -408,7 +402,7 @@ void UgniLayer::flush_backlog(sim::Context& ctx, PeState& s) {
     s.pe->wake(s.backlog_retry_at);
     return;
   }
-  const bool msgq_mode = machine_->options().use_msgq;
+  const bool msgq_mode = use_msgq_;
   while (!s.backlog.empty()) {
     PeState::Pending& p = s.backlog.front();
     const void* bytes = p.msg ? p.msg : p.ctrl.data();
@@ -500,7 +494,7 @@ void UgniLayer::submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
   PeState& s = state(src);
 
   const bool same_node = m.node_of_pe(dest_pe) == src.node();
-  if (same_node && m.options().use_pxshm) {
+  if (same_node && use_pxshm_) {
     pxshm_send(ctx, src, dest_pe, msg.size, msg.msg);
     return;
   }
@@ -524,7 +518,7 @@ void UgniLayer::submit(sim::Context& ctx, converse::Pe& src, int dest_pe,
 std::uint32_t UgniLayer::recommended_batch_bytes(converse::Pe& src,
                                                  int dest_pe) const {
   converse::Machine& m = *machine_;
-  if (m.node_of_pe(dest_pe) == src.node() && m.options().use_pxshm) {
+  if (m.node_of_pe(dest_pe) == src.node() && use_pxshm_) {
     // pxshm moves any size in one queue slot; batching saves per-message
     // enqueue/notify overhead.  Round the lease up to a full mempool size
     // class so no registered bytes are wasted.
@@ -618,7 +612,7 @@ void UgniLayer::advance(sim::Context& ctx, converse::Pe& pe) {
     }
   }
 
-  if (machine_->options().use_pxshm) pxshm_poll(ctx, pe);
+  if (use_pxshm_) pxshm_poll(ctx, pe);
   if (governor_) drain_deferred_gets(ctx, s);
   flush_backlog(ctx, s);
 }
@@ -630,7 +624,16 @@ bool UgniLayer::has_backlog(const converse::Pe& pe) const {
 
 void UgniLayer::handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
                             int src_inst) {
-  ugni::gni_ep_handle_t ep = s.nic->ep_for_peer(src_inst);
+  ugni::gni_ep_handle_t ep;
+  if (src_inst == s.last_peer) {
+    ep = s.last_ep;  // burst from one peer: skip the per-event hash lookup
+  } else {
+    ep = s.nic->ep_for_peer(src_inst);
+    if (ep) {
+      s.last_peer = src_inst;
+      s.last_ep = ep;
+    }
+  }
   void* data = nullptr;
   std::uint8_t tag = 0;
   SimTime arrival = ctx.now();
@@ -641,37 +644,53 @@ void UgniLayer::handle_smsg(sim::Context& ctx, converse::Pe& pe, PeState& s,
   ugni::GNI_SmsgRelease(ep);
 }
 
+const UgniLayer::TagFn UgniLayer::kTagTable[5] = {
+    nullptr,  // tag 0: never sent
+    &UgniLayer::on_tag_data,
+    &UgniLayer::on_tag_init,
+    &UgniLayer::on_tag_ack,
+    &UgniLayer::on_tag_persist,
+};
+
 void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
                                     PeState& s, std::uint8_t tag,
                                     const void* data, SimTime arrival) {
-  const auto& mc = machine_->options().mc;
-  switch (tag) {
-    case kTagData: {
-      // Copy out of the mailbox/queue slot into a runtime buffer.
-      const CmiMsgHeader* h = header_of(data);
-      std::uint32_t size = h->size;
-      if (trace::spans_enabled()) {
-        // rx_arrive at the wire-arrival instant, cq_complete now: the gap
-        // is how long the event waited for this PE to poll its CQ.
-        mark_msg_spans(data, trace::Stage::kRxArrive, pe.id(), arrival);
-        mark_msg_spans(data, trace::Stage::kCqComplete, pe.id(), ctx.now());
-      }
-      void* buf = alloc(ctx, pe, size);
-      ctx.charge(mc.memcpy_cost(size));
-      std::memcpy(buf, data, size);
-      header_of(buf)->alloc_pe = pe.id();
-      pe.enqueue(buf, ctx.now());
-      break;
-    }
-    case kTagInit: {
-      InitCtrl ctrl;
-      std::memcpy(&ctrl, data, sizeof(ctrl));
-      if (trace::spans_enabled() && ctrl.span != 0) {
-        trace::span_mark(ctrl.span, trace::Stage::kRxArrive, pe.id(),
-                         arrival);
-      }
+  static_assert(kTagData == 1 && kTagInit == 2 && kTagAck == 3 &&
+                kTagPersistData == 4);
+  assert(tag >= kTagData && tag <= kTagPersistData && "unknown SMSG tag");
+  (this->*kTagTable[tag])(ctx, pe, s, data, arrival);
+}
 
-      PeState::LargeRecv lr;
+void UgniLayer::on_tag_data(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                            const void* data, SimTime arrival) {
+  (void)s;
+  const auto& mc = machine_->options().mc;
+  // Copy out of the mailbox/queue slot into a runtime buffer.
+  const CmiMsgHeader* h = header_of(data);
+  std::uint32_t size = h->size;
+  if (trace::spans_enabled()) {
+    // rx_arrive at the wire-arrival instant, cq_complete now: the gap
+    // is how long the event waited for this PE to poll its CQ.
+    mark_msg_spans(data, trace::Stage::kRxArrive, pe.id(), arrival);
+    mark_msg_spans(data, trace::Stage::kCqComplete, pe.id(), ctx.now());
+  }
+  void* buf = alloc(ctx, pe, size);
+  ctx.charge(mc.memcpy_cost(size));
+  std::memcpy(buf, data, size);
+  header_of(buf)->alloc_pe = pe.id();
+  pe.enqueue(buf, ctx.now());
+}
+
+void UgniLayer::on_tag_init(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                            const void* data, SimTime arrival) {
+  const auto& mc = machine_->options().mc;
+  InitCtrl ctrl;
+  std::memcpy(&ctrl, data, sizeof(ctrl));
+  if (trace::spans_enabled() && ctrl.span != 0) {
+    trace::span_mark(ctrl.span, trace::Stage::kRxArrive, pe.id(), arrival);
+  }
+
+  PeState::LargeRecv lr;
       lr.send_id = ctrl.send_id;
       lr.src_pe = ctrl.src_pe;
       lr.span = ctrl.span;
@@ -711,64 +730,60 @@ void UgniLayer::handle_protocol_msg(sim::Context& ctx, converse::Pe& pe,
       lr.desc->remote_addr = ctrl.addr;
       lr.desc->remote_mem_hndl = ctrl.hndl;
       lr.desc->length = ctrl.size;
-      std::uint64_t rid = s.next_recv_id++;
-      lr.desc->post_id = rid;
-      s.recvs.emplace(rid, std::move(lr));
+  std::uint64_t rid = s.next_recv_id++;
+  lr.desc->post_id = rid;
+  s.recvs.emplace(rid, std::move(lr));
 
-      // AIMD admission: a full window defers the GET (the sender's buffer
-      // stays pinned behind the INIT/ACK protocol, so deferral is safe);
-      // drain_deferred_gets re-admits as completions free slots.
-      if (governor_ &&
-          !governor_->try_acquire(pe.id(), ctrl.src_pe, ctrl.size,
-                                  ctx.now())) {
-        if (trace::spans_enabled() && ctrl.span != 0) {
-          trace::span_mark(ctrl.span, trace::Stage::kGovDefer, pe.id(),
-                           ctx.now());
-        }
-        s.deferred_gets.push_back(rid);
-        break;
-      }
-      if (governor_ && trace::spans_enabled() && ctrl.span != 0) {
-        trace::span_mark(ctrl.span, trace::Stage::kGovAdmit, pe.id(),
-                         ctx.now());
-      }
-      issue_rendezvous_get(ctx, s, rid);
-      break;
+  // AIMD admission: a full window defers the GET (the sender's buffer
+  // stays pinned behind the INIT/ACK protocol, so deferral is safe);
+  // drain_deferred_gets re-admits as completions free slots.
+  if (governor_ &&
+      !governor_->try_acquire(pe.id(), ctrl.src_pe, ctrl.size, ctx.now())) {
+    if (trace::spans_enabled() && ctrl.span != 0) {
+      trace::span_mark(ctrl.span, trace::Stage::kGovDefer, pe.id(),
+                       ctx.now());
     }
-    case kTagAck: {
-      AckCtrl ack;
-      std::memcpy(&ack, data, sizeof(ack));
-      auto it = s.sends.find(ack.send_id);
-      assert(it != s.sends.end());
-      PeState::LargeSend& ls = it->second;
-      if (ls.registered) {
-        ugni::GNI_MemDeregister(s.nic, &ls.hndl);
-      }
-      free_msg(ctx, pe, ls.msg);
-      s.sends.erase(it);
-      break;
-    }
-    case kTagPersistData: {
-      PersistCtrl pc;
-      std::memcpy(&pc, data, sizeof(pc));
-      PeState::PersistRx& rx =
-          s.persist_rx.at(static_cast<std::size_t>(pc.channel));
-      // Deliver the landing buffer in place: zero copy, runtime-owned.
-      CmiMsgHeader* h = header_of(rx.buf);
-      h->flags |= kMsgFlagNoFree;
-      h->alloc_pe = pe.id();
-      if (trace::spans_enabled() && h->span_id != 0) {
-        // The PUT copied the whole envelope into the landing buffer, so
-        // the sampled span id arrived with the data.
-        trace::span_mark(h->span_id, trace::Stage::kRxArrive, pe.id(),
-                         arrival);
-      }
-      pe.enqueue(rx.buf, ctx.now());
-      break;
-    }
-    default:
-      assert(false && "unknown SMSG tag");
+    s.deferred_gets.push_back(rid);
+    return;
   }
+  if (governor_ && trace::spans_enabled() && ctrl.span != 0) {
+    trace::span_mark(ctrl.span, trace::Stage::kGovAdmit, pe.id(), ctx.now());
+  }
+  issue_rendezvous_get(ctx, s, rid);
+}
+
+void UgniLayer::on_tag_ack(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                           const void* data, SimTime arrival) {
+  (void)arrival;
+  AckCtrl ack;
+  std::memcpy(&ack, data, sizeof(ack));
+  auto it = s.sends.find(ack.send_id);
+  assert(it != s.sends.end());
+  PeState::LargeSend& ls = it->second;
+  if (ls.registered) {
+    ugni::GNI_MemDeregister(s.nic, &ls.hndl);
+  }
+  free_msg(ctx, pe, ls.msg);
+  s.sends.erase(it);
+}
+
+void UgniLayer::on_tag_persist(sim::Context& ctx, converse::Pe& pe,
+                               PeState& s, const void* data,
+                               SimTime arrival) {
+  PersistCtrl pc;
+  std::memcpy(&pc, data, sizeof(pc));
+  PeState::PersistRx& rx =
+      s.persist_rx.at(static_cast<std::size_t>(pc.channel));
+  // Deliver the landing buffer in place: zero copy, runtime-owned.
+  CmiMsgHeader* h = header_of(rx.buf);
+  h->flags |= kMsgFlagNoFree;
+  h->alloc_pe = pe.id();
+  if (trace::spans_enabled() && h->span_id != 0) {
+    // The PUT copied the whole envelope into the landing buffer, so
+    // the sampled span id arrived with the data.
+    trace::span_mark(h->span_id, trace::Stage::kRxArrive, pe.id(), arrival);
+  }
+  pe.enqueue(rx.buf, ctx.now());
 }
 
 void UgniLayer::issue_rendezvous_get(sim::Context& ctx, PeState& s,
@@ -790,6 +805,10 @@ void UgniLayer::issue_rendezvous_get(sim::Context& ctx, PeState& s,
 }
 
 void UgniLayer::drain_deferred_gets(sim::Context& ctx, PeState& s) {
+  if (s.deferred_gets.empty()) return;
+  // The span gate is run-constant; test it once per batch of re-admitted
+  // GETs rather than per item.
+  const bool spans = trace::spans_enabled();
   while (!s.deferred_gets.empty()) {
     // would_admit first: drain retries must not inflate the stall count
     // (each deferral already recorded its kInjectionStall at INIT time).
@@ -800,7 +819,7 @@ void UgniLayer::drain_deferred_gets(sim::Context& ctx, PeState& s) {
     governor_->try_acquire(s.pe->id(), lr.src_pe,
                            static_cast<std::uint32_t>(lr.desc->length),
                            ctx.now());
-    if (trace::spans_enabled() && lr.span != 0) {
+    if (spans && lr.span != 0) {
       trace::span_mark(lr.span, trace::Stage::kGovAdmit, s.pe->id(),
                        ctx.now());
     }
@@ -1023,17 +1042,22 @@ void UgniLayer::pxshm_poll(sim::Context& ctx, converse::Pe& pe) {
                     pe.id() % m.options().effective_pes_per_node())];
   if (q.empty()) return;
   ctx.charge(mc.pxshm_poll_ns);
+  // Trace gates and the copy-mode knob are run-constant: one test per
+  // poll batch, not per dequeued message.
+  const bool ev_on = trace::enabled();
+  const bool spans_on = trace::spans_enabled();
+  const bool single_copy = m.options().pxshm_single_copy;
   while (!q.empty() && q.front().at <= ctx.now()) {
     NodeShm::Entry e = q.front();
     q.pop_front();
-    if (trace::enabled()) {
+    if (ev_on) {
       trace::emit(trace::Ev::kPxshmDeq, ctx.now(), 0,
                   header_of(e.msg)->src_pe, e.size);
     }
-    if (trace::spans_enabled()) {
+    if (spans_on) {
       mark_msg_spans(e.msg, trace::Stage::kRxArrive, pe.id(), e.at);
     }
-    if (m.options().pxshm_single_copy) {
+    if (single_copy) {
       // alloc_pe stays the sender: CmiFree routes back to its pool.
       pe.enqueue(e.msg, ctx.now());
     } else {

@@ -121,9 +121,24 @@ class UgniLayer final : public converse::MachineLayer {
   /// Shared protocol demux for small messages arriving via SMSG or MSGQ.
   /// `arrival` is the virtual wire-arrival instant of the control/data
   /// bytes (== ctx.now() for paths that cannot observe it earlier).
+  /// One flat-table indirect call per message (kTagTable below), not a
+  /// switch re-tested per event in the CQ drain loop.
   void handle_protocol_msg(sim::Context& ctx, converse::Pe& pe, PeState& s,
                            std::uint8_t tag, const void* bytes,
                            SimTime arrival);
+  // Per-tag protocol handlers (the former switch arms).
+  void on_tag_data(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                   const void* bytes, SimTime arrival);
+  void on_tag_init(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                   const void* bytes, SimTime arrival);
+  void on_tag_ack(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                  const void* bytes, SimTime arrival);
+  void on_tag_persist(sim::Context& ctx, converse::Pe& pe, PeState& s,
+                      const void* bytes, SimTime arrival);
+  using TagFn = void (UgniLayer::*)(sim::Context&, converse::Pe&, PeState&,
+                                    const void*, SimTime);
+  /// Indexed by SMSG protocol tag (1-based; slot 0 is unused).
+  static const TagFn kTagTable[5];
   void handle_completion(sim::Context& ctx, converse::Pe& pe, PeState& s,
                          const ugni::gni_cq_entry_t& ev);
 
@@ -136,6 +151,11 @@ class UgniLayer final : public converse::MachineLayer {
   std::vector<PeState*> states_;  // borrowed; owned by Pe::layer_state
   std::vector<std::unique_ptr<NodeShm>> node_shm_;
   std::uint32_t smsg_cap_ = 1024;
+  // Machine options snapshotted at ensure_domain: the progress engine and
+  // send path test these once per call instead of chasing
+  // machine_->options() per event.
+  bool use_pxshm_ = false;
+  bool use_msgq_ = false;
   fault::RetryPolicy retry_{};
   /// AIMD injection pacing + adaptive thresholds; null when flow control
   /// is off (the hot paths then cost exactly one pointer test).

@@ -10,8 +10,19 @@
 // "In the case when the memory pool overflows, it can be dynamically
 // expanded") — the expansion pays the full malloc+registration cost once,
 // after which buffers recycle for free.
+//
+// The free lists are INTRUSIVE: the link lives in the spare half of the
+// 16-byte block header, and the list heads are a fixed inline array in the
+// pool object.  At full-machine scale (150k+ pools, one per PE) every
+// alloc/free walks cold memory, so the hot path is sized in cache lines:
+// intrusive links touch only the pool object and the block header — both
+// lines the operation must touch anyway — where the old vector-of-vectors
+// design paid two further dependent loads (outer array, inner buffer) per
+// operation, plus their reallocation churn.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -28,6 +39,7 @@ struct MemPoolStats {
   std::uint64_t slab_bytes = 0;     // total registered pool memory
   std::uint64_t outstanding = 0;    // live allocations
   std::uint64_t freelist_hits = 0;  // allocs served without carving
+  std::uint64_t bin_lookups = 0;    // O(1) size-class resolutions (== allocs)
 };
 
 class MemPool {
@@ -80,13 +92,18 @@ class MemPool {
     ugni::gni_mem_handle_t handle{};
   };
 
-  // Block header stamped just before every returned pointer.
+  // Block header stamped just before every returned pointer.  The spare
+  // 8 bytes carry the intrusive freelist link while the block is free
+  // (never read while live, so payload bytes are untouched either way).
   struct Header {
     std::uint32_t magic = 0;
     std::uint16_t bin = 0;
     std::uint16_t slab = 0;
+    void* next_free = nullptr;
   };
   static constexpr std::size_t kHeaderSize = 16;  // keep payload aligned
+  static_assert(sizeof(Header) == kHeaderSize,
+                "freelist link must fit the spare header bytes");
   static constexpr std::uint32_t kMagicLive = 0x9D00DA11u;
   static constexpr std::uint32_t kMagicFree = 0xFEE1DEADu;
 
@@ -108,9 +125,13 @@ class MemPool {
         static_cast<const std::uint8_t*>(p) - kHeaderSize);
   }
 
+  /// One size class per power of two in [kMinBlock, kMaxBlock].
+  static constexpr std::size_t kBins =
+      std::countr_zero(kMaxBlock) - std::countr_zero(kMinBlock) + 1;
+
   ugni::gni_nic_handle_t nic_;
   std::vector<Slab> slabs_;
-  std::vector<std::vector<void*>> freelists_;  // per size class
+  std::array<void*, kBins> free_head_{};  // intrusive per-class freelists
   MemPoolStats stats_;
 };
 

@@ -27,18 +27,34 @@ thread_local ExecutingShard t_executing;
 // ---------------------------------------------------------------------------
 
 void EventHandle::cancel() {
-  if (auto alive = token_.lock()) {
-    if (*alive) {
-      *alive = false;
+  // The lock proves the owning shard (and so the record's storage) is
+  // still alive; the generation check proves the record has not been
+  // recycled for a later event.  pop_and_run flips `alive` before running
+  // the callback and bumps `gen` only after, so a self-cancel from inside
+  // the firing event sees alive == false and is a no-op.
+  if (auto live = live_.lock()) {
+    if (rec_ != nullptr && rec_->gen == gen_ && rec_->alive) {
+      rec_->alive = false;
       // First successful cancel of a not-yet-fired event: it is no longer
-      // pending work.  (pop_and_run flips the tombstone before running the
-      // callback, so a self-cancel from inside the firing event cannot
-      // reach here and double-decrement.)
-      if (auto live = live_.lock()) {
-        live->fetch_sub(1, std::memory_order_relaxed);
-      }
+      // pending work.
+      live->fetch_sub(1, std::memory_order_relaxed);
     }
   }
+}
+
+bool EventHandle::valid() const {
+  auto live = live_.lock();
+  return live && rec_ != nullptr && rec_->gen == gen_ && rec_->alive;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler — the concrete {engine, shard} handle
+// ---------------------------------------------------------------------------
+
+SimTime Scheduler::now() const { return engine_->scheduler_now(shard_); }
+
+EventHandle Scheduler::schedule_at(SimTime when, SmallFn fn) {
+  return engine_->schedule_from(shard_, when, std::move(fn));
 }
 
 // ---------------------------------------------------------------------------
@@ -64,6 +80,9 @@ EngineOptions EngineOptions::from_env() {
   if (const char* env = std::getenv("UGNIRT_SIM_LOOKAHEAD_NS")) {
     o.lookahead_ns = std::max<SimTime>(1, std::atoll(env));
   }
+  if (const char* env = std::getenv("UGNIRT_SIM_ARENA")) {
+    o.arena = std::atoi(env) != 0;
+  }
   return o;
 }
 
@@ -71,23 +90,40 @@ EngineOptions EngineOptions::from_env() {
 // Engine::Shard
 // ---------------------------------------------------------------------------
 
-Engine::Shard::Shard(Engine& engine, int index, QueueKind kind)
+Engine::Shard::Shard(Engine& engine, int index, QueueKind kind, bool arena)
     : engine_(&engine),
       index_(index),
       queue_(make_event_queue(kind)),
-      live_(std::make_shared<std::atomic<std::int64_t>>(0)) {}
+      live_(std::make_shared<std::atomic<std::int64_t>>(0)),
+      arena_(arena) {}
 
-SimTime Engine::Shard::now() const {
-  // Under replay the shards execute in one merged global order, so the
-  // engine clock is the honest local time (a shard's own clock only
-  // advances when one of its events pops).  Under the window drive the
-  // shard clock is the real local time.
-  return engine_->mode_ == DriveMode::kReplay ? engine_->now_ : now_;
+EventRecord* Engine::Shard::acquire_mailbox_record() {
+  if (mailbox_free_ != nullptr) {
+    EventRecord* rec = mailbox_free_;
+    mailbox_free_ = rec->next_free;
+    rec->next_free = nullptr;
+    return rec;
+  }
+  mailbox_records_.push_back(std::make_unique<EventRecord>());
+  EventRecord* rec = mailbox_records_.back().get();
+  rec->mailbox_owned = true;
+  return rec;
 }
 
-EventHandle Engine::Shard::schedule_at(SimTime when,
-                                       std::function<void()> fn) {
-  return engine_->schedule_on(index_, when, std::move(fn));
+void Engine::Shard::release_record(EventRecord* rec) {
+  if (rec->mailbox_owned) {
+    // Rare path: a mailboxed cross-shard event retired by its target.
+    // The pool mutex also guards the freelist against a concurrent
+    // acquire from another shard's worker mid-round.
+    std::lock_guard<std::mutex> lock(mailbox_mu_);
+    rec->fn.reset();
+    rec->alive = false;
+    ++rec->gen;
+    rec->next_free = mailbox_free_;
+    mailbox_free_ = rec;
+    return;
+  }
+  arena_.release(rec);
 }
 
 // ---------------------------------------------------------------------------
@@ -97,20 +133,28 @@ EventHandle Engine::Shard::schedule_at(SimTime when,
 Engine::Engine(const EngineOptions& options)
     : queue_kind_(options.queue),
       mode_(options.mode),
-      lookahead_(std::max<SimTime>(1, options.lookahead_ns)) {
+      lookahead_(std::max<SimTime>(1, options.lookahead_ns)),
+      arena_enabled_(options.arena),
+      global_sched_(this, Scheduler::kCurrentShard) {
   const int nshards = std::max(1, options.shards);
   threads_ = std::clamp(options.threads, 0, nshards);
   shards_.reserve(static_cast<std::size_t>(nshards));
+  shard_scheds_.reserve(static_cast<std::size_t>(nshards));
   for (int i = 0; i < nshards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(*this, i, options.queue));
+    shards_.push_back(
+        std::make_unique<Shard>(*this, i, options.queue, options.arena));
+    shard_scheds_.push_back(Scheduler(this, i));
   }
 }
 
+// Queued-but-never-popped callbacks are destroyed by the slab (and
+// mailbox-pool) destructors — EventRecord's SmallFn member owns them — so
+// teardown needs no explicit queue drain.
 Engine::~Engine() = default;
 
 Scheduler& Engine::scheduler(int shard) {
   assert(shard >= 0 && shard < shards());
-  return *shards_[static_cast<std::size_t>(shard)];
+  return shard_scheds_[static_cast<std::size_t>(shard)];
 }
 
 SimTime Engine::shard_now(int shard) const {
@@ -122,12 +166,26 @@ int Engine::current_shard() const {
   return t_executing.engine == this ? t_executing.shard : -1;
 }
 
+const EventArena& Engine::arena(int shard) const {
+  assert(shard >= 0 && shard < shards());
+  return shards_[static_cast<std::size_t>(shard)]->arena_;
+}
+
 std::size_t Engine::pending() const {
   std::int64_t live = 0;
   for (const auto& s : shards_) {
     live += s->live_->load(std::memory_order_relaxed);
   }
   return live > 0 ? static_cast<std::size_t>(live) : 0;
+}
+
+SimTime Engine::scheduler_now(int shard) const {
+  // Under replay the shards execute in one merged global order, so the
+  // engine clock is the honest local time (a shard's own clock only
+  // advances when one of its events pops).  Under the window drive a
+  // pinned scheduler reports the real local clock.
+  if (shard < 0 || mode_ == DriveMode::kReplay) return now_;
+  return shards_[static_cast<std::size_t>(shard)]->now_;
 }
 
 std::uint64_t Engine::next_seq(int scheduling_shard) {
@@ -146,22 +204,32 @@ std::uint64_t Engine::next_seq(int scheduling_shard) {
          static_cast<std::uint64_t>(scheduling_shard);
 }
 
-EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
-  const int cur = current_shard();
-  return schedule_on(cur >= 0 ? cur : 0, when, std::move(fn));
+EventHandle Engine::schedule_at(SimTime when, SmallFn fn) {
+  return schedule_from(Scheduler::kCurrentShard, when, std::move(fn));
 }
 
-EventHandle Engine::schedule_on(int target, SimTime when,
-                                std::function<void()> fn) {
+EventHandle Engine::schedule_from(int shard, SimTime when, SmallFn fn) {
+  if (shard < 0) {
+    const int cur = current_shard();
+    shard = cur >= 0 ? cur : 0;
+  }
+  return schedule_on(shard, when, std::move(fn));
+}
+
+EventHandle Engine::schedule_on(int target, SimTime when, SmallFn fn) {
   assert(target >= 0 && target < shards());
   Shard& dst = *shards_[static_cast<std::size_t>(target)];
   const int src = current_shard();
   const std::uint64_t seq = next_seq(src >= 0 ? src : target);
 
-  auto alive = std::make_shared<bool>(true);
-  EventHandle handle{std::weak_ptr<bool>(alive),
-                     std::weak_ptr<std::atomic<std::int64_t>>(dst.live_)};
-  dst.live_->fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == DriveMode::kReplay) {
+    // Replay is single-threaded by contract: plain arithmetic, no
+    // lock-prefixed RMW on the schedule hot path.
+    dst.live_->store(dst.live_->load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  } else {
+    dst.live_->fetch_add(1, std::memory_order_relaxed);
+  }
 
   if (mode_ == DriveMode::kWindow && src >= 0 && src != target) {
     // Cross-shard while a round drains: the target may already be past
@@ -174,8 +242,12 @@ EventHandle Engine::schedule_on(int target, SimTime when,
       lookahead_violations_.fetch_add(1, std::memory_order_relaxed);
     }
     std::lock_guard<std::mutex> lock(dst.mailbox_mu_);
-    dst.mailbox_.push_back(Event{when, seq, std::move(fn), std::move(alive)});
-    return handle;
+    EventRecord* rec = dst.acquire_mailbox_record();
+    rec->fn = std::move(fn);
+    rec->alive = true;
+    const std::uint64_t gen = rec->gen;
+    dst.mailbox_.push_back(Event{when, seq, rec});
+    return EventHandle{dst.live_, rec, gen};
   }
 
   // Same-shard (or outside execution): straight into the queue.  Clamp to
@@ -183,8 +255,11 @@ EventHandle Engine::schedule_on(int target, SimTime when,
   const SimTime floor = mode_ == DriveMode::kReplay ? now_ : dst.now_;
   if (when < floor) when = floor;
   if (src >= 0 && src != target) ++cross_shard_events_;  // replay only
-  dst.queue_->push(Event{when, seq, std::move(fn), std::move(alive)});
-  return handle;
+  EventRecord* rec = dst.arena_.acquire();
+  rec->fn = std::move(fn);
+  rec->alive = true;
+  dst.queue_->push(Event{when, seq, rec});
+  return EventHandle{dst.live_, rec, rec->gen};
 }
 
 Engine::Shard* Engine::earliest_shard() {
@@ -211,17 +286,29 @@ SimTime Engine::earliest_time_global() {
 }
 
 bool Engine::pop_and_run(Shard& shard) {
+  // Replay-only (the window drive drains in drain_shard_to): exactly one
+  // thread runs here, so the counters use plain load/store arithmetic —
+  // no lock-prefixed RMW per event.  The caller owns the t_executing
+  // guard (set once around the drive loop, not once per event).
   Event ev = shard.queue_->pop_earliest();
   now_ = ev.time;
   shard.now_ = ev.time;
-  if (!*ev.alive) return false;  // tombstone: cancelled, already uncounted
-  *ev.alive = false;             // fired: a late cancel() must be a no-op
-  shard.live_->fetch_sub(1, std::memory_order_relaxed);
-  executed_.fetch_add(1, std::memory_order_relaxed);
-  const ExecutingShard prev = t_executing;
-  t_executing = {this, shard.index_};
-  ev.fn();
-  t_executing = prev;
+  EventRecord* rec = ev.rec;
+  if (!rec->alive) {  // tombstone: cancelled, already uncounted
+    shard.release_record(rec);
+    return false;
+  }
+  rec->alive = false;  // fired: a late cancel() must be a no-op
+  shard.live_->store(shard.live_->load(std::memory_order_relaxed) - 1,
+                     std::memory_order_relaxed);
+  executed_.store(executed_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  rec->fn();
+  // Release AFTER the call: the callback may hold a handle to itself
+  // (self-cancel is a no-op on alive == false, and the record must not be
+  // recycled under it).  The arena only grows during the call — slabs are
+  // stable — so `rec` cannot move.
+  shard.release_record(rec);
   return true;
 }
 
@@ -237,9 +324,11 @@ std::uint64_t Engine::run_replay(SimTime until) {
   stopped_.store(false, std::memory_order_relaxed);
   const bool bounded = until != kNever;
   std::uint64_t ran = 0;
+  const ExecutingShard prev = t_executing;
   if (shards_.size() == 1) {
     // Sequential fast path: no tournament, exactly the classic engine.
     Shard& s = *shards_[0];
+    t_executing = {this, 0};
     while (!stopped_.load(std::memory_order_relaxed)) {
       const Event* head = s.queue_->peek_earliest();
       if (!head || (bounded && head->time > until)) break;
@@ -250,9 +339,11 @@ std::uint64_t Engine::run_replay(SimTime until) {
       Shard* s = earliest_shard();
       if (!s) break;
       if (bounded && s->queue_->peek_earliest()->time > until) break;
+      t_executing = {this, s->index_};
       if (pop_and_run(*s)) ++ran;
     }
   }
+  t_executing = prev;
   if (bounded && now_ < until && earliest_time_global() > until) {
     now_ = until;
   }
@@ -272,7 +363,7 @@ void Engine::merge_mailboxes() {
       // A lookahead violation could date the event inside the target's
       // past; clamping to the shard clock keeps queue inserts monotone.
       if (ev.time < s.now_) ev.time = s.now_;
-      s.queue_->push(std::move(ev));
+      s.queue_->push(ev);
     }
   }
 }
@@ -286,11 +377,16 @@ std::uint64_t Engine::drain_shard_to(Shard& shard, SimTime horizon) {
     if (!head || head->time >= horizon) break;
     Event ev = shard.queue_->pop_earliest();
     shard.now_ = ev.time;
-    if (!*ev.alive) continue;
-    *ev.alive = false;
+    EventRecord* rec = ev.rec;
+    if (!rec->alive) {
+      shard.release_record(rec);
+      continue;
+    }
+    rec->alive = false;
     shard.live_->fetch_sub(1, std::memory_order_relaxed);
     executed_.fetch_add(1, std::memory_order_relaxed);
-    ev.fn();
+    rec->fn();
+    shard.release_record(rec);
     ++ran;
   }
   t_executing = prev;

@@ -6,6 +6,14 @@
 // (a monotonically increasing sequence number breaks ties), which makes
 // every run bit-reproducible.
 //
+// The hot path is allocation-free: each shard owns a slab-recycling
+// EventArena (event_arena.hpp) of EventRecords — a SmallFn callback plus
+// cancellation state — and the queues move 24-byte POD Events that point
+// into it.  schedule_at acquires a record from the freelist, pop releases
+// it back; the heap is touched only when the pending set grows past every
+// slab ever carved (and in the UGNIRT_SIM_ARENA=0 measurement baseline,
+// which carves a fresh record per event).
+//
 // The pending-event set is PARTITIONED: EngineOptions::shards splits it
 // into independent per-shard queues (each backed by sim::EventQueue — a
 // binary-heap oracle or an O(1) calendar queue), each with its own local
@@ -39,23 +47,26 @@
 //    cross-shard ties break by (time, seq) deterministically no matter
 //    how rounds interleave on wall-clock: window runs are reproducible
 //    run-to-run, and for shard-confined workloads execute the exact
-//    per-shard sequences replay would.
+//    per-shard sequences replay would.  Cross-shard mailbox events use
+//    per-shard mutex-guarded record pools, NOT the target's arena — the
+//    arena is single-owner by contract.
 //
 // Scheduling-facing code never sees this class: protocol state machines
-// hold the narrow sim::Scheduler interface (scheduler.hpp), which Engine
-// implements globally (events land on the currently executing shard) and
-// per shard via scheduler(i).
+// hold the concrete sim::Scheduler handle (scheduler.hpp), minted by
+// scheduler() (events land on the currently executing shard) and
+// scheduler(i) (pinned to shard i).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "sim/event_arena.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/small_fn.hpp"
 #include "util/units.hpp"
 
 namespace ugnirt::sim {
@@ -93,31 +104,45 @@ struct EngineOptions {
   /// clamped to <= shards.  Requires the workload's events to touch only
   /// shard-local state.
   int threads = 0;
+  /// Recycle event records through the per-shard slab arenas ("sim.arena"
+  /// / UGNIRT_SIM_ARENA).  false is the A/B measurement baseline: one
+  /// fresh record per event (retained until teardown so stale
+  /// EventHandles stay safe), i.e. the old allocation-per-event cost.
+  /// Scheduling semantics are bit-identical either way.
+  bool arena = true;
 
   /// Options with UGNIRT_SIM_QUEUE / UGNIRT_SIM_SHARDS /
-  /// UGNIRT_SIM_LOOKAHEAD_NS applied over the defaults — the explicit
-  /// successor of the old env-sniffing Engine default constructor.
+  /// UGNIRT_SIM_LOOKAHEAD_NS / UGNIRT_SIM_ARENA applied over the defaults
+  /// — the explicit successor of the old env-sniffing Engine default
+  /// constructor.
   static EngineOptions from_env();
 };
 
-class Engine final : public Scheduler {
+class Engine final {
  public:
   explicit Engine(const EngineOptions& options);
-  ~Engine() override;
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  // ---- Scheduler (the engine as a whole) ----
+  // ---- scheduling surface ----
   /// Committed global virtual time: the last executed event's time under
   /// kReplay; the high-water mark of completed rounds under kWindow.
-  SimTime now() const override { return now_; }
+  SimTime now() const { return now_; }
   /// Schedules onto the shard currently executing (shard 0 outside event
   /// execution) — implicit-context protocol code lands its follow-up
   /// events next to the state they touch.
-  EventHandle schedule_at(SimTime when, std::function<void()> fn) override;
+  EventHandle schedule_at(SimTime when, SmallFn fn);
+  EventHandle schedule_after(SimTime delay, SmallFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
 
   // ---- sharding surface ----
   int shards() const { return static_cast<int>(shards_.size()); }
+  /// The engine-wide Scheduler handle: now() is the global clock, events
+  /// land on the shard currently executing.  What Machine::scheduler()
+  /// and the network model hold.
+  Scheduler& scheduler() { return global_sched_; }
   /// The per-shard Scheduler: now() is the shard's local clock;
   /// schedule_at targets the shard (cross-shard calls are mailboxed under
   /// the kWindow drive).
@@ -163,29 +188,42 @@ class Engine final : public Scheduler {
   /// contract (kWindow only; the event is clamped to the target shard's
   /// clock at the next barrier, never lost or reordered within its shard).
   std::uint64_t lookahead_violations() const { return lookahead_violations_; }
+  /// Whether records recycle through the slab arenas (UGNIRT_SIM_ARENA).
+  bool arena_enabled() const { return arena_enabled_; }
+  /// Arena occupancy of one shard, for tests and the micro bench.
+  const EventArena& arena(int shard) const;
 
  private:
-  /// One pending-set partition.  Implements the per-shard Scheduler.
-  class Shard final : public Scheduler {
-   public:
-    Shard(Engine& engine, int index, QueueKind kind);
+  friend class Scheduler;
 
-    SimTime now() const override;
-    EventHandle schedule_at(SimTime when, std::function<void()> fn) override;
+  /// One pending-set partition.
+  struct Shard {
+    Shard(Engine& engine, int index, QueueKind kind, bool arena);
 
-   private:
-    friend class Engine;
     Engine* engine_;
     int index_;
-    SimTime now_ = 0;             // local clock: last executed event's time
-    std::uint64_t local_seq_ = 0; // kWindow striped-seq stream
+    SimTime now_ = 0;              // local clock: last executed event's time
+    std::uint64_t local_seq_ = 0;  // kWindow striped-seq stream
     std::unique_ptr<EventQueue> queue_;
     std::shared_ptr<std::atomic<std::int64_t>> live_;
-    std::mutex mailbox_mu_;            // kWindow cross-shard arrivals
+    EventArena arena_;  // single-owner: the thread driving this shard
+
+    // kWindow cross-shard arrivals.  Records for mailboxed events come
+    // from this mutex-guarded pool, not the arena — the sender's worker
+    // must not race the owner's freelist.  Pooled records are stable for
+    // the engine's lifetime, so EventHandles to them stay safe.
+    std::mutex mailbox_mu_;
     std::vector<Event> mailbox_;
+    std::vector<std::unique_ptr<EventRecord>> mailbox_records_;
+    EventRecord* mailbox_free_ = nullptr;
+
+    EventRecord* acquire_mailbox_record();  // caller holds mailbox_mu_
+    void release_record(EventRecord* rec);  // routes arena vs mailbox pool
   };
 
-  EventHandle schedule_on(int target, SimTime when, std::function<void()> fn);
+  SimTime scheduler_now(int shard) const;
+  EventHandle schedule_from(int shard, SimTime when, SmallFn fn);
+  EventHandle schedule_on(int target, SimTime when, SmallFn fn);
   std::uint64_t next_seq(int scheduling_shard);
   Shard* earliest_shard();
   SimTime earliest_time_global();
@@ -203,12 +241,17 @@ class Engine final : public Scheduler {
   DriveMode mode_;
   SimTime lookahead_;
   int threads_;
+  bool arena_enabled_;
   SimTime round_floor_ = 0;
   SimTime round_horizon_ = 0;  // exclusive; valid while a round drains
   std::uint64_t rounds_ = 0;
   std::uint64_t cross_shard_events_ = 0;
   std::atomic<std::uint64_t> lookahead_violations_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Stable Scheduler handles (two words each); references returned by
+  // scheduler() stay valid for the engine's lifetime.
+  std::vector<Scheduler> shard_scheds_;
+  Scheduler global_sched_;
 };
 
 }  // namespace ugnirt::sim

@@ -18,11 +18,11 @@
 //    lands inside the current bucket window.
 //
 //  * Cancellation is NOT a queue operation.  EventHandle::cancel() flips
-//    the event's shared `alive` tombstone; the dead event stays queued
-//    and is skipped (not executed, not counted) when popped.  Lazy
-//    deletion keeps every backend O(1) for cancel and preserves the
-//    handle contract: cancel after fire is a no-op, cancel twice is a
-//    no-op.  Backends never inspect `alive`.
+//    the record's `alive` tombstone; the dead event stays queued and is
+//    skipped (not executed, not counted) when popped.  Lazy deletion
+//    keeps every backend O(1) for cancel and preserves the handle
+//    contract: cancel after fire is a no-op, cancel twice is a no-op.
+//    Backends never inspect the record.
 //
 // Backends:
 //
@@ -46,7 +46,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string_view>
 
@@ -54,14 +53,18 @@
 
 namespace ugnirt::sim {
 
-/// A scheduled callback.  `alive` is the cancellation tombstone shared
-/// with the EventHandle returned by Engine::schedule_at; the queue
-/// stores it opaquely and the engine checks it at pop time.
+struct EventRecord;
+
+/// A scheduled callback: 24 trivially-copyable bytes.  The callback and
+/// its cancellation tombstone live in `rec`, an arena-owned EventRecord
+/// (sim/event_arena.hpp) the engine acquires at schedule time and
+/// releases at pop time.  Queues store the pointer opaquely — moving an
+/// event between buckets or heap levels is a POD copy, never a
+/// std::function relocation.
 struct Event {
   SimTime time;
   std::uint64_t seq;
-  std::function<void()> fn;
-  std::shared_ptr<bool> alive;
+  EventRecord* rec;
 };
 
 /// Selects the Engine's queue backend (MachineOptions::sim_queue,

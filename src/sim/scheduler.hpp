@@ -7,26 +7,32 @@
 // relative scheduling, and cancellation.  They must never see the whole
 // sim::Engine, whose run()/run_until()/stop() surface belongs to the code
 // that *drives* the simulation (converse::Machine, benches, tests).
-// Handing an FSM a Scheduler instead of an Engine makes that split a
+// Handing an FSM a Scheduler instead of an Engine keeps that split a
 // compile-time guarantee.
 //
-// sim::Engine implements this interface twice over: the engine itself is
-// a Scheduler (events land on the shard currently executing, which is
-// what implicit-context protocol code wants), and Engine::scheduler(i)
-// exposes one Scheduler per shard whose now() is that shard's local
-// clock (what per-PE code pinned to a shard wants).
+// Scheduler is deliberately CONCRETE and final: it is a {engine, shard}
+// handle whose methods are plain functions, not virtuals.  The old
+// abstract-base design put a vtable dispatch on every schedule_at/now —
+// once per simulated event, millions of times per full-machine sweep —
+// for exactly one implementation (the engine and its shards).  The
+// narrow-surface guarantee never needed virtual dispatch; it needs a
+// type that exposes nothing else, which this is.  Engine::scheduler()
+// returns the engine-wide handle (events land on the shard currently
+// executing) and Engine::scheduler(i) the per-shard one whose now() is
+// that shard's local clock.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "sim/small_fn.hpp"
 #include "util/units.hpp"
 
 namespace ugnirt::sim {
 
 class Engine;
+struct EventRecord;
 
 /// Handle to a scheduled event; allows cancellation (e.g. timeouts that are
 /// disarmed when the awaited completion arrives first).
@@ -36,48 +42,63 @@ class EventHandle {
 
   /// Prevent the callback from running.  Safe to call multiple times and
   /// after the event fired (no-op).  Cancellation never touches the
-  /// queue: it flips the shared tombstone (and drops the owning shard's
-  /// live-event count) and the engine skips the dead event when it
-  /// surfaces.  Must be called from the shard that owns the event (in a
-  /// threaded window drive, the worker draining it) — the tombstone is
-  /// not synchronized against a concurrent pop.
+  /// queue: it flips the record's tombstone (and drops the owning
+  /// shard's live-event count); the engine skips the dead event when it
+  /// surfaces.  The record pointer is guarded twice: the weak guard
+  /// proves the engine (and so the record's slab) is still alive, and
+  /// the generation check makes a handle to a recycled record a no-op.
+  /// Must be called from the shard that owns the event (in a threaded
+  /// window drive, the worker draining it) — the tombstone is not
+  /// synchronized against a concurrent pop.
   void cancel();
 
-  bool valid() const { return !token_.expired(); }
+  /// True while the event is still scheduled and uncancelled.
+  bool valid() const;
 
  private:
   friend class Engine;
-  EventHandle(std::weak_ptr<bool> token,
-              std::weak_ptr<std::atomic<std::int64_t>> live)
-      : token_(std::move(token)), live_(std::move(live)) {}
-  std::weak_ptr<bool> token_;
-  // The owning shard's live-event counter, decremented on a successful
-  // cancel so Engine::pending() reports live events only (a cancelled-
-  // but-unpopped tombstone is not pending work).
+  EventHandle(std::weak_ptr<std::atomic<std::int64_t>> live, EventRecord* rec,
+              std::uint64_t gen)
+      : live_(std::move(live)), rec_(rec), gen_(gen) {}
+  // The owning shard's live-event counter.  Doubles as the liveness
+  // guard: it expires with the shard, so a handle that outlives the
+  // engine never touches the (freed) record.
   std::weak_ptr<std::atomic<std::int64_t>> live_;
+  EventRecord* rec_ = nullptr;
+  std::uint64_t gen_ = 0;
 };
 
 /// What a protocol state machine holds.  now()/schedule_at()/
 /// schedule_after()/cancel() — nothing else; no run/stop controls.
-class Scheduler {
+class Scheduler final {
  public:
-  virtual ~Scheduler() = default;
+  // Copyable handle (two words); only Engine mints new ones.
+  Scheduler(const Scheduler&) = default;
+  Scheduler& operator=(const Scheduler&) = default;
 
   /// Current virtual time of this scheduling domain (the whole engine, or
-  /// one shard's local clock).
-  virtual SimTime now() const = 0;
+  /// one shard's local clock).  Defined in engine.cpp.
+  SimTime now() const;
 
   /// Schedule `fn` at absolute virtual time `when` (clamped to now()).
-  virtual EventHandle schedule_at(SimTime when, std::function<void()> fn) = 0;
+  /// Defined in engine.cpp.
+  EventHandle schedule_at(SimTime when, SmallFn fn);
 
   /// Schedule `fn` after `delay` nanoseconds.
-  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+  EventHandle schedule_after(SimTime delay, SmallFn fn) {
     return schedule_at(now() + delay, std::move(fn));
   }
 
   /// Disarm a previously scheduled event (sugar over EventHandle::cancel
   /// so FSM code reads uniformly against the interface).
   void cancel(EventHandle& handle) { handle.cancel(); }
+
+ private:
+  friend class Engine;
+  Scheduler(Engine* engine, int shard) : engine_(engine), shard_(shard) {}
+  Engine* engine_;
+  int shard_;  // >= 0: that shard; kCurrentShard: wherever execution is
+  static constexpr int kCurrentShard = -1;
 };
 
 }  // namespace ugnirt::sim

@@ -200,6 +200,21 @@ gni_return_t GNI_CqDestroy(gni_cq_handle_t cq);
 /// NOT_DONE (no event has arrived yet).
 gni_return_t GNI_CqGetEvent(gni_cq_handle_t cq, gni_cq_entry_t* event_out);
 
+/// Batched poll: harvest up to `max_events` visible events in one call,
+/// charge-exact with the equivalent GNI_CqGetEvent loop (one cq_poll per
+/// attempt, plus cq_event per harvested event — the terminating empty
+/// poll is charged too, exactly as the open-coded loop would).  Mirrors
+/// GNI_CqVectorMonitor-era batching; callers that charge per-event
+/// handling time BETWEEN polls (the machine layers) must keep the
+/// open-coded loop — this entry is for drivers that drain first and
+/// handle after.  `count_out` receives the number of events stored.
+/// Returns: SUCCESS (harvested `max_events`) | ERROR_RESOURCE (overrun
+/// hit; events before it are in `event_out`) | NOT_DONE (queue went
+/// empty first) | INVALID_PARAM (null args, zero max_events).
+gni_return_t GNI_CqGetEvents(gni_cq_handle_t cq, gni_cq_entry_t* event_out,
+                             std::uint32_t max_events,
+                             std::uint32_t* count_out);
+
 /// Recover a CQ from overrun state, mirroring the real
 /// GNI_CqErrorRecovery: clears the overrun latch and re-synthesizes the
 /// events that were dropped from NIC-side state that survives the drop —
@@ -306,6 +321,8 @@ gni_return_t post_transaction(Ep* ep, gni_post_descriptor_t* desc,
   friend gni_return_t GNI_CqCreate(gni_nic_handle_t, std::uint32_t,          \
                                    gni_cq_handle_t*);                        \
   friend gni_return_t GNI_CqGetEvent(gni_cq_handle_t, gni_cq_entry_t*);      \
+  friend gni_return_t GNI_CqGetEvents(gni_cq_handle_t, gni_cq_entry_t*,      \
+                                      std::uint32_t, std::uint32_t*);        \
   friend gni_return_t GNI_CqWaitEvent(gni_cq_handle_t, gni_cq_entry_t*);     \
   friend gni_return_t GNI_CqErrorRecover(gni_cq_handle_t, std::uint32_t*);   \
   friend gni_return_t GNI_MemRegister(gni_nic_handle_t, std::uint64_t,       \

@@ -18,10 +18,10 @@ class DmappFixture : public ::testing::Test {
 
   void SetUp() override {
     net_ = std::make_unique<gemini::Network>(
-        engine_, topo::Torus3D::for_nodes(4), gemini::MachineConfig{});
+        engine_.scheduler(), topo::Torus3D::for_nodes(4), gemini::MachineConfig{});
     dom_ = std::make_unique<ugni::Domain>(*net_);
     for (int i = 0; i < kPes; ++i) {
-      ctx_.push_back(std::make_unique<sim::Context>(engine_, i));
+      ctx_.push_back(std::make_unique<sim::Context>(engine_.scheduler(), i));
     }
     sim::ScopedContext g(*ctx_[0]);
     job_ = std::make_unique<DmappJob>(*dom_, kPes, kHeap);

@@ -300,10 +300,10 @@ TEST(FaultMpi, KNeighborSurvivesCombinedFaults) {
 // the latch and re-synthesize the dropped arrival events.
 TEST(CqOverrun, RecoverUnlatchesAndResynthesizesDroppedEvents) {
   sim::Engine engine{sim::EngineOptions{}};
-  gemini::Network net(engine, topo::Torus3D::for_nodes(8),
+  gemini::Network net(engine.scheduler(), topo::Torus3D::for_nodes(8),
                       gemini::MachineConfig{});
   ugni::Domain dom(net);
-  sim::Context ctx0(engine, 0), ctx1(engine, 1);
+  sim::Context ctx0(engine.scheduler(), 0), ctx1(engine.scheduler(), 1);
   ugni::gni_nic_handle_t nic0 = nullptr, nic1 = nullptr;
   ugni::gni_cq_handle_t rx1 = nullptr, tx0 = nullptr;
   sim::ScopedContext guard(ctx0);

@@ -10,7 +10,7 @@ namespace {
 
 Network make_net(int nodes = 8) {
   static sim::Engine* engine = new sim::Engine(sim::EngineOptions{});  // shared across cases
-  return Network(*engine, topo::Torus3D::for_nodes(nodes), MachineConfig{});
+  return Network(engine->scheduler(), topo::Torus3D::for_nodes(nodes), MachineConfig{});
 }
 
 TransferTimes do_transfer(Network& net, Mechanism mech, std::uint64_t bytes,
@@ -229,7 +229,7 @@ TEST(Network, SmsgChannelStaysFifoUnderCongestion) {
   // Even when link occupancy could let a later SMSG overtake, per-channel
   // FIFO must hold (verified at the uGNI level).
   sim::Engine engine{sim::EngineOptions{}};
-  Network net(engine, topo::Torus3D::for_nodes(8), MachineConfig{});
+  Network net(engine.scheduler(), topo::Torus3D::for_nodes(8), MachineConfig{});
   // Covered end-to-end by UgniPropertyFixture FIFO test; here we at least
   // confirm SMSG arrivals are monotonic for back-to-back sends.
   SimTime prev = 0;

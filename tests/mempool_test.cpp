@@ -15,9 +15,9 @@ class MemPoolFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     net_ = std::make_unique<gemini::Network>(
-        engine_, topo::Torus3D::for_nodes(2), gemini::MachineConfig{});
+        engine_.scheduler(), topo::Torus3D::for_nodes(2), gemini::MachineConfig{});
     dom_ = std::make_unique<ugni::Domain>(*net_);
-    ctx_ = std::make_unique<sim::Context>(engine_, 0);
+    ctx_ = std::make_unique<sim::Context>(engine_.scheduler(), 0);
     sim::ScopedContext guard(*ctx_);
     ASSERT_EQ(ugni::GNI_CdmAttach(dom_.get(), 0, 0, &nic_),
               ugni::GNI_RC_SUCCESS);
@@ -161,6 +161,26 @@ TEST_F(MemPoolFixture, StressRandomAllocFreeWithPatternVerify) {
   for (const auto& l : live) pool_->free(l.p);
   EXPECT_EQ(pool_->stats().outstanding, 0u);
   EXPECT_EQ(pool_->stats().allocs, pool_->stats().frees);
+}
+
+TEST_F(MemPoolFixture, BinLookupIsConstantTimePerAlloc) {
+  sim::ScopedContext guard(*ctx_);
+  // The size class resolves via bit_ceil + countr_zero — exactly one O(1)
+  // lookup per alloc, never a search.  On a success-only workload the
+  // counter must track allocs one-for-one (a failed slab expansion rolls
+  // back the alloc count but not the lookup, so only successful-alloc
+  // workloads can assert equality).
+  std::vector<void*> held;
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t size : {1u, 64u, 65u, 4096u, 32u * 1024u}) {
+      held.push_back(pool_->alloc(size));
+    }
+    for (void* p : held) pool_->free(p);
+    held.clear();
+  }
+  const auto& st = pool_->stats();
+  EXPECT_EQ(st.bin_lookups, st.allocs);
+  EXPECT_EQ(st.bin_lookups, 20u);
 }
 
 TEST_F(MemPoolFixture, OversizedAllocationThrows) {

@@ -19,10 +19,10 @@ class MsgqFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     net_ = std::make_unique<gemini::Network>(
-        engine_, topo::Torus3D::for_nodes(4), gemini::MachineConfig{});
+        engine_.scheduler(), topo::Torus3D::for_nodes(4), gemini::MachineConfig{});
     dom_ = std::make_unique<ugni::Domain>(*net_);
     for (int i = 0; i < 3; ++i) {
-      ctx_.push_back(std::make_unique<sim::Context>(engine_, i));
+      ctx_.push_back(std::make_unique<sim::Context>(engine_.scheduler(), i));
       sim::ScopedContext g(*ctx_.back());
       ASSERT_EQ(ugni::GNI_CdmAttach(dom_.get(), i, i, &nic_[i]),
                 ugni::GNI_RC_SUCCESS);

@@ -48,7 +48,8 @@ using converse::MachineOptions;
 /// top — so any divergence in event order between queue backends or
 /// engine shard counts shows up as a trace mismatch.
 std::string traced_run(sim::QueueKind queue, int shards = 1,
-                       bool all_subsystems = false) {
+                       bool all_subsystems = false, bool arena = true,
+                       bool flat_dispatch = true) {
   trace::EventTracer tracer(1u << 18);
   trace::set_tracer(&tracer);
   MachineOptions o;
@@ -58,6 +59,8 @@ std::string traced_run(sim::QueueKind queue, int shards = 1,
   o.pes_per_node = 1;
   o.sim_queue = queue;
   o.sim_shards = shards;
+  o.sim_arena = arena;
+  o.flat_dispatch = flat_dispatch;
   o.fault.enabled = true;
   o.fault.seed = 0x5CA1E;
   o.fault.p_smsg_error = 0.2;
@@ -125,6 +128,33 @@ TEST(ShardedReplay, SeededTraceIsBitIdenticalAcrossShardCounts) {
   }
 }
 
+/// The hot-path overhaul's ground rule: the slab-recycling event arena
+/// and the flat kind-table dispatch are host-side optimizations ONLY.
+/// The seeded all-subsystems trace must be byte-identical with either
+/// (or both) turned off — any divergence means a virtual charge or an
+/// event ordering leaked out of the host layer.
+TEST(HotPath, ArenaAndFlatDispatchTraceIsBitIdentical) {
+  const std::string reference = traced_run(
+      sim::QueueKind::kHeap, 1, /*all_subsystems=*/true);
+  EXPECT_FALSE(reference.empty());
+  struct Mode {
+    bool arena;
+    bool flat;
+  };
+  for (Mode mode : {Mode{false, true}, Mode{true, false}, Mode{false, false}}) {
+    for (sim::QueueKind queue :
+         {sim::QueueKind::kHeap, sim::QueueKind::kCalendar}) {
+      EXPECT_EQ(reference, traced_run(queue, 1, true, mode.arena, mode.flat))
+          << "queue=" << sim::to_string(queue) << " arena=" << mode.arena
+          << " flat_dispatch=" << mode.flat;
+    }
+  }
+  // And across shard counts with both off — the sharded drive must not
+  // depend on the arena's recycling for its ordering either.
+  EXPECT_EQ(reference,
+            traced_run(sim::QueueKind::kCalendar, 8, true, false, false));
+}
+
 /// Same matrix with every optional subsystem armed — faults, aggregation
 /// and congestion control all schedule their own timers and reroute
 /// traffic, so this is the adversarial case for cross-shard ordering.
@@ -150,10 +180,10 @@ class LazyConnectFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     net_ = std::make_unique<gemini::Network>(
-        engine_, topo::Torus3D::for_nodes(8), gemini::MachineConfig{});
+        engine_.scheduler(), topo::Torus3D::for_nodes(8), gemini::MachineConfig{});
     dom_ = std::make_unique<ugni::Domain>(*net_);
     for (int i = 0; i < 2; ++i) {
-      ctx_[i] = std::make_unique<sim::Context>(engine_, i);
+      ctx_[i] = std::make_unique<sim::Context>(engine_.scheduler(), i);
       ASSERT_EQ(ugni::GNI_CdmAttach(dom_.get(), i, i, &nic_[i]),
                 ugni::GNI_RC_SUCCESS);
       ASSERT_EQ(ugni::GNI_CqCreate(nic_[i], 1024, &rx_cq_[i]),

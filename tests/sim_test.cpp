@@ -120,7 +120,7 @@ TEST(Engine, DeterministicAcrossRuns) {
 
 TEST(Context, ChargeAdvancesCursorAndTotals) {
   Engine e{EngineOptions{}};
-  Context c(e, 3);
+  Context c(e.scheduler(), 3);
   EXPECT_EQ(c.pe(), 3);
   EXPECT_EQ(c.now(), 0);
   c.charge(100);
@@ -132,7 +132,7 @@ TEST(Context, ChargeAdvancesCursorAndTotals) {
 
 TEST(Context, WaitUntilOnlyMovesForward) {
   Engine e{EngineOptions{}};
-  Context c(e, 0);
+  Context c(e.scheduler(), 0);
   c.set_now(100);
   c.wait_until(50);  // no-op
   EXPECT_EQ(c.now(), 100);
@@ -143,8 +143,8 @@ TEST(Context, WaitUntilOnlyMovesForward) {
 
 TEST(Context, ScopedContextNestsCorrectly) {
   Engine e{EngineOptions{}};
-  Context outer(e, 1);
-  Context inner(e, 2);
+  Context outer(e.scheduler(), 1);
+  Context inner(e.scheduler(), 2);
   EXPECT_EQ(current(), nullptr);
   {
     ScopedContext s1(outer);

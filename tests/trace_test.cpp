@@ -370,7 +370,7 @@ TEST(EmitGuard, DisabledByDefaultAndNoopWithoutContext) {
 
   // With a context, emit records under the context's PE id.
   sim::Engine engine{sim::EngineOptions{}};
-  sim::Context ctx(engine, 7);
+  sim::Context ctx(engine.scheduler(), 7);
   {
     sim::ScopedContext guard(ctx);
     trace::emit(trace::Ev::kSmsgSend, 100, 40, 3, 96);

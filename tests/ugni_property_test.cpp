@@ -21,10 +21,10 @@ class UgniPropertyFixture : public ::testing::Test {
 
   void SetUp() override {
     net_ = std::make_unique<gemini::Network>(
-        engine_, topo::Torus3D::for_nodes(8), gemini::MachineConfig{});
+        engine_.scheduler(), topo::Torus3D::for_nodes(8), gemini::MachineConfig{});
     dom_ = std::make_unique<Domain>(*net_);
     for (int i = 0; i < kNics; ++i) {
-      ctx_.push_back(std::make_unique<sim::Context>(engine_, i));
+      ctx_.push_back(std::make_unique<sim::Context>(engine_.scheduler(), i));
       sim::ScopedContext g(*ctx_.back());
       ASSERT_EQ(GNI_CdmAttach(dom_.get(), i, i % 4, &nic_[i]),
                 GNI_RC_SUCCESS);

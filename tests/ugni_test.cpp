@@ -17,10 +17,10 @@ class UgniFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     net_ = std::make_unique<gemini::Network>(
-        engine_, topo::Torus3D::for_nodes(8), gemini::MachineConfig{});
+        engine_.scheduler(), topo::Torus3D::for_nodes(8), gemini::MachineConfig{});
     dom_ = std::make_unique<Domain>(*net_);
     for (int i = 0; i < 2; ++i) {
-      ctx_[i] = std::make_unique<sim::Context>(engine_, i);
+      ctx_[i] = std::make_unique<sim::Context>(engine_.scheduler(), i);
     }
     sim::ScopedContext guard(*ctx_[0]);
     ASSERT_EQ(GNI_CdmAttach(dom_.get(), 0, 0, &nic_[0]), GNI_RC_SUCCESS);
