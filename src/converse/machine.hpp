@@ -29,6 +29,7 @@
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "converse/message.hpp"
+#include "tenancy/config.hpp"
 #include "trace/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +41,7 @@ class Aggregator;
 }
 namespace ugnirt::flowcontrol {
 class CongestionEstimator;
+class InjectionGovernor;
 }
 
 namespace ugnirt::converse {
@@ -155,6 +157,11 @@ struct MachineOptions {
   /// CongestionEstimator is installed on the network when `enable`; the
   /// uGNI layer additionally spins up its InjectionGovernor.
   flowcontrol::FlowConfig flow{};
+  /// Multi-tenancy ("tenancy.*" config keys / UGNIRT_TENANCY_* env).
+  /// Config only: drivers construct a tenancy::JobManager over the
+  /// machine with these knobs (see src/tenancy); with `enable` false the
+  /// machine is bit-identical to stock single-job runs.
+  tenancy::TenancyConfig tenancy{};
 
   int effective_pes_per_node() const {
     return pes_per_node > 0 ? pes_per_node : mc.cores_per_node;
@@ -277,6 +284,11 @@ class MachineLayer {
   /// Publish point-in-time gauges (mailbox/pool/CQ state) into the
   /// registry.  Counters are bound at init and need no collection step.
   virtual void collect_metrics(trace::MetricsRegistry& reg);
+
+  /// The layer's injection governor, or nullptr when the layer has none
+  /// (flow control off, or a layer without pacing).  The tenancy
+  /// subsystem pushes per-job QoS window bounds through this.
+  virtual flowcontrol::InjectionGovernor* governor() { return nullptr; }
 
   // Persistent-message API (paper §IV-A).  Layers without support return an
   // invalid handle (callers fall back to plain sends).

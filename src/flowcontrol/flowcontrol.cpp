@@ -144,7 +144,21 @@ InjectionGovernor::InjectionGovernor(const FlowConfig& cfg,
     : cfg_(cfg), est_(est) {
   PeWindow w;
   w.cwnd = static_cast<double>(cfg_.window_start);
+  w.floor = cfg_.window_min;
+  w.ceiling = cfg_.window_max;
   pe_.assign(static_cast<std::size_t>(num_pes), w);
+}
+
+void InjectionGovernor::set_pe_qos(int pe, const QosParams& qos) {
+  PeWindow& w = pe_[static_cast<std::size_t>(pe)];
+  w.floor = qos.window_floor > 0 ? std::max(qos.window_floor, 1u)
+                                 : cfg_.window_min;
+  w.ceiling = qos.window_ceiling > 0 ? qos.window_ceiling : cfg_.window_max;
+  w.ceiling = std::max(w.ceiling, w.floor);
+  w.drain_quota = qos.drain_quota;
+  w.cwnd = std::clamp(w.cwnd, static_cast<double>(w.floor),
+                      static_cast<double>(w.ceiling));
+  ++qos_pes_;
 }
 
 bool InjectionGovernor::try_acquire(int pe, int dest, std::uint32_t bytes,
@@ -172,16 +186,17 @@ void InjectionGovernor::on_complete(int pe, int node, SimTime /*now*/) {
   PeWindow& w = pe_[static_cast<std::size_t>(pe)];
   if (w.outstanding > 0) --w.outstanding;
   const double load = est_ ? est_->node_load(node) : 0.0;
+  // AIMD inside the PE's effective bounds: [window_min, window_max] until
+  // tenancy QoS narrows them via set_pe_qos.
   if (load >= cfg_.hot_threshold) {
-    const double next =
-        std::max(static_cast<double>(cfg_.window_min),
-                 w.cwnd * cfg_.aimd_decrease);
+    const double next = std::max(static_cast<double>(w.floor),
+                                 w.cwnd * cfg_.aimd_decrease);
     if (next < w.cwnd) ++decreases_;
     w.cwnd = next;
   } else {
     // Classic AIMD: +increase per window's worth of completions.
     const double next =
-        std::min(static_cast<double>(cfg_.window_max),
+        std::min(static_cast<double>(w.ceiling),
                  w.cwnd + cfg_.aimd_increase / std::max(1.0, w.cwnd));
     if (next > w.cwnd) ++increases_;
     w.cwnd = next;
@@ -214,6 +229,9 @@ void InjectionGovernor::collect_metrics(trace::MetricsRegistry& reg) const {
   reg.counter("flow.window_decreases").set(decreases_);
   reg.counter("flow.eager_shrinks").set(eager_shrinks_);
   reg.counter("flow.rdma_shifts").set(rdma_shifts_);
+  // Published only once tenancy installed QoS bounds, so stock metric
+  // dumps stay byte-identical to pre-tenancy runs.
+  if (qos_pes_ > 0) reg.counter("flow.qos_pes").set(qos_pes_);
   double sum = 0.0;
   double min_w = pe_.empty() ? 0.0 : pe_.front().cwnd;
   for (const PeWindow& w : pe_) {
@@ -223,6 +241,12 @@ void InjectionGovernor::collect_metrics(trace::MetricsRegistry& reg) const {
   reg.gauge("flow.window_avg")
       .set(pe_.empty() ? 0.0 : sum / static_cast<double>(pe_.size()));
   reg.gauge("flow.window_min_seen").set(min_w);
+}
+
+std::unique_ptr<InjectionGovernor> make_governor(const FlowConfig& cfg,
+                                                 const CongestionEstimator* est,
+                                                 int num_pes) {
+  return std::make_unique<InjectionGovernor>(cfg, est, num_pes);
 }
 
 }  // namespace ugnirt::flowcontrol

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "flowcontrol/config.hpp"
@@ -76,8 +77,29 @@ class CongestionEstimator {
   std::uint64_t hot_samples_ = 0;  // samples taken while the NIC was hot
 };
 
+/// Per-PE quality-of-service bounds layered onto the AIMD window by the
+/// tenancy subsystem (JobManager::place maps a job's QoS class to one of
+/// these per PE).  Default-constructed params are inert: the window keeps
+/// the configured [window_min, window_max] range and deferred-GET drains
+/// stay unbounded, so a governor with no QoS set behaves bit-identically
+/// to stock.
+struct QosParams {
+  /// AIMD floor; 0 keeps FlowConfig::window_min.  Latency-class jobs
+  /// raise it so hotspot backoff cannot starve their rendezvous GETs.
+  std::uint32_t window_floor = 0;
+  /// AIMD ceiling; 0 keeps FlowConfig::window_max.  Bulk/scavenger jobs
+  /// lower it so their storms cannot monopolize links.
+  std::uint32_t window_ceiling = 0;
+  /// Max deferred-GET re-admissions per drain_deferred_gets pass;
+  /// 0 = unbounded.  The weighted-admission knob: scavengers trickle
+  /// their queued GETs while latency jobs drain freely.
+  std::uint32_t drain_quota = 0;
+};
+
 /// Per-PE AIMD window over outstanding governed transactions, plus
-/// runtime-adapted protocol thresholds.
+/// runtime-adapted protocol thresholds.  Construct via make_governor()
+/// (enforced by tools/check_deprecated_sends.sh) so every call site is
+/// QoS-capable.
 class InjectionGovernor {
  public:
   InjectionGovernor(const FlowConfig& cfg, const CongestionEstimator* est,
@@ -112,6 +134,16 @@ class InjectionGovernor {
     return pe_[static_cast<std::size_t>(pe)].outstanding;
   }
 
+  /// Install per-PE QoS bounds (tenancy: job QoS class -> window bounds +
+  /// drain quota).  The current window is clamped into the new range
+  /// immediately; AIMD updates stay inside it from then on.
+  void set_pe_qos(int pe, const QosParams& qos);
+  /// The PE's deferred-GET re-admission quota per drain pass (0 = none
+  /// set: drain everything the window admits).
+  std::uint32_t drain_quota(int pe) const {
+    return pe_[static_cast<std::size_t>(pe)].drain_quota;
+  }
+
   /// Eager/rendezvous boundary: the configured cap while the node is
   /// cool, shrunk while it is hot so mid-size messages take the paced
   /// rendezvous path instead of stuffing SMSG mailboxes.
@@ -127,6 +159,11 @@ class InjectionGovernor {
   struct PeWindow {
     double cwnd = 0;
     std::uint32_t outstanding = 0;
+    // Effective AIMD bounds: FlowConfig::window_{min,max} until QoS
+    // narrows them (see set_pe_qos).
+    std::uint32_t floor = 1;
+    std::uint32_t ceiling = 1;
+    std::uint32_t drain_quota = 0;
   };
 
   FlowConfig cfg_;
@@ -138,6 +175,15 @@ class InjectionGovernor {
   std::uint64_t decreases_ = 0;
   mutable std::uint64_t eager_shrinks_ = 0;
   mutable std::uint64_t rdma_shifts_ = 0;
+  std::uint64_t qos_pes_ = 0;  // PEs with QoS bounds installed
 };
+
+/// The one sanctioned way to build an InjectionGovernor.  Layers and tests
+/// go through here (direct construction outside src/flowcontrol and
+/// src/tenancy trips the deprecated-send lint) so per-job QoS classes can
+/// never be bypassed by a new call site growing its own governor.
+std::unique_ptr<InjectionGovernor> make_governor(const FlowConfig& cfg,
+                                                 const CongestionEstimator* est,
+                                                 int num_pes);
 
 }  // namespace ugnirt::flowcontrol

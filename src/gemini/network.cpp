@@ -128,6 +128,7 @@ SimTime Network::reserve_route(int from, int to, SimTime duration,
   // gaps before future-dated reservations are backfilled.
   SimTime cursor = earliest;
   bool waited = false;
+  SimTime route_wait = 0;
   for (const auto& link : route) {
     const std::size_t idx = topo::link_index(link);
     const SimTime start = links_[idx].reserve(cursor, duration, &waited);
@@ -135,10 +136,27 @@ SimTime Network::reserve_route(int from, int to, SimTime duration,
       estimator_->on_link_reserve(idx, from, start - cursor, duration,
                                   earliest);
     }
+    route_wait += start - cursor;
     cursor = start;
   }
   if (waited) ++stats_.link_conflicts;
+  if (!job_of_node_.empty()) {
+    // Tenancy attribution: charge the reservation (and its queueing) to
+    // the initiating node's job.  Rendezvous GETs initiate at the
+    // receiver, which for intra-job traffic is the same job either way.
+    const std::int16_t job = job_of_node_[static_cast<std::size_t>(from)];
+    if (job >= 0) {
+      JobLinkStats& js = job_link_[static_cast<std::size_t>(job)];
+      js.reservations += route.size();
+      js.wait_ns += route_wait;
+    }
+  }
   return cursor;
+}
+
+void Network::set_job_of_node(std::vector<std::int16_t> jobs, int num_jobs) {
+  job_of_node_ = std::move(jobs);
+  job_link_.assign(static_cast<std::size_t>(num_jobs), JobLinkStats{});
 }
 
 TransferTimes Network::transfer(const TransferRequest& req) {
@@ -254,6 +272,15 @@ void Network::collect_metrics(trace::MetricsRegistry& reg) const {
   reg.counter("net.link_waits").set(waits);
   reg.counter("net.link_wait_ns").set(static_cast<std::uint64_t>(wait_ns));
   if (fault_) fault_->collect_metrics(reg);
+  // Per-job link rows, only in multi-tenant runs (attribution installed)
+  // so stock metric dumps stay byte-identical to single-job output.
+  for (std::size_t j = 0; j < job_link_.size(); ++j) {
+    const std::string prefix = "job." + std::to_string(j) + ".";
+    reg.counter(prefix + "link_reservations")
+        .set(job_link_[j].reservations);
+    reg.counter(prefix + "link_wait_ns")
+        .set(static_cast<std::uint64_t>(job_link_[j].wait_ns));
+  }
   if (estimator_) {
     // Flow metrics appear only when the subsystem is installed, so stock
     // metric dumps stay byte-identical to the seed.

@@ -152,6 +152,22 @@ class Network {
     return links_[idx];
   }
 
+  /// Install per-node job attribution (tenancy): `jobs[node]` is the job
+  /// id whose traffic initiates from that node, or -1 for unattributed
+  /// (mixed or idle) nodes.  When set, reserve_route accumulates per-job
+  /// link reservations and queueing, published by collect_metrics as
+  /// `job.<id>.link_reservations` / `job.<id>.link_wait_ns` rows.  Empty
+  /// map = stock behavior and stock metric output, bit for bit.
+  void set_job_of_node(std::vector<std::int16_t> jobs, int num_jobs);
+
+  /// Per-job link-queueing totals (tenancy introspection); index = job id.
+  std::uint64_t job_link_reservations(int job) const {
+    return job_link_[static_cast<std::size_t>(job)].reservations;
+  }
+  SimTime job_link_wait_ns(int job) const {
+    return job_link_[static_cast<std::size_t>(job)].wait_ns;
+  }
+
   /// Publish network-wide counters (net.transfers, net.bytes_*,
   /// net.link_conflicts, net.link_waits) plus per-link occupancy as a
   /// "net.link_busy_ns" distribution over links that carried traffic.
@@ -186,6 +202,14 @@ class Network {
   NetworkStats stats_;
   fault::FaultInjector* fault_ = nullptr;
   flowcontrol::CongestionEstimator* estimator_ = nullptr;
+  // Tenancy attribution: per-initiator-node job ids and the per-job link
+  // accounting they key.  Both empty (and free) outside multi-tenant runs.
+  struct JobLinkStats {
+    std::uint64_t reservations = 0;
+    SimTime wait_ns = 0;
+  };
+  std::vector<std::int16_t> job_of_node_;
+  std::vector<JobLinkStats> job_link_;
 };
 
 }  // namespace ugnirt::gemini

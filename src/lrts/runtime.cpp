@@ -22,6 +22,7 @@ std::unique_ptr<converse::Machine> make_machine(
     options.retry.export_to(cfg);
     options.aggregation.export_to(cfg);
     options.flow.export_to(cfg);
+    options.tenancy.export_to(cfg);
     cfg.set("sim.queue", sim::to_string(options.sim_queue));
     cfg.set("sim.shards", std::to_string(options.sim_shards));
     cfg.set("sim.lookahead_ns", std::to_string(options.sim_lookahead_ns));
@@ -33,6 +34,7 @@ std::unique_ptr<converse::Machine> make_machine(
     options.retry = fault::RetryPolicy::from(cfg);
     options.aggregation = aggregation::AggregationConfig::from(cfg);
     options.flow = flowcontrol::FlowConfig::from(cfg);
+    options.tenancy = tenancy::TenancyConfig::from(cfg);
     sim::queue_kind_from_string(cfg.get_string_or("sim.queue", "heap"),
                                 &options.sim_queue);
     options.sim_shards = static_cast<int>(cfg.get_int_or("sim.shards", 1));

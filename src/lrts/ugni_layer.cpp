@@ -218,7 +218,9 @@ void UgniLayer::ensure_domain(converse::Machine& m) {
   c_cq_recovered_ = &reg.counter("cq_overrun_recovered");
   retry_ = m.options().retry;
   if (m.options().flow.enable) {
-    governor_ = std::make_unique<flowcontrol::InjectionGovernor>(
+    // Through the factory (not direct construction — the deprecated-send
+    // lint enforces this) so tenancy QoS classes bind to every governor.
+    governor_ = flowcontrol::make_governor(
         m.options().flow, m.congestion_estimator(), m.num_pes());
   }
   domain_ = std::make_unique<ugni::Domain>(m.network());
@@ -809,7 +811,14 @@ void UgniLayer::drain_deferred_gets(sim::Context& ctx, PeState& s) {
   // The span gate is run-constant; test it once per batch of re-admitted
   // GETs rather than per item.
   const bool spans = trace::spans_enabled();
+  // Tenancy QoS weighted admission: bulk/scavenger jobs re-admit at most
+  // `quota` deferred GETs per drain pass (0 = stock unbounded drain), so
+  // a storm's backlog trickles out instead of bursting the moment the
+  // window opens.
+  const std::uint32_t quota = governor_->drain_quota(s.pe->id());
+  std::uint32_t admitted = 0;
   while (!s.deferred_gets.empty()) {
+    if (quota != 0 && admitted >= quota) return;
     // would_admit first: drain retries must not inflate the stall count
     // (each deferral already recorded its kInjectionStall at INIT time).
     if (!governor_->would_admit(s.pe->id())) return;
@@ -824,6 +833,7 @@ void UgniLayer::drain_deferred_gets(sim::Context& ctx, PeState& s) {
                        ctx.now());
     }
     issue_rendezvous_get(ctx, s, rid);
+    ++admitted;
   }
 }
 

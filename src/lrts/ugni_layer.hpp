@@ -78,6 +78,11 @@ class UgniLayer final : public converse::MachineLayer {
   const flowcontrol::InjectionGovernor* governor() const {
     return governor_.get();
   }
+  /// Mutable access for the tenancy subsystem's per-job QoS installation
+  /// (MachineLayer interface).
+  flowcontrol::InjectionGovernor* governor() override {
+    return governor_.get();
+  }
 
  private:
   struct PeState;

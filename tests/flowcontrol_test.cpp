@@ -173,7 +173,8 @@ TEST(FlowEstimator, HotRecoversWhenCongestionClears) {
 TEST(FlowGovernor, AdmitsUpToWindowThenStalls) {
   FlowConfig cfg;
   cfg.window_start = 4;
-  InjectionGovernor gov(cfg, nullptr, 2);
+  auto gov_p = flowcontrol::make_governor(cfg, nullptr, 2);
+  InjectionGovernor& gov = *gov_p;
   for (int i = 0; i < 4; ++i) {
     EXPECT_TRUE(gov.would_admit(0));
     EXPECT_TRUE(gov.try_acquire(0, 1, 4096, i));
@@ -193,7 +194,8 @@ TEST(FlowGovernor, PacingOffNeverRefuses) {
   FlowConfig cfg;
   cfg.window_start = 1;
   cfg.pace_rendezvous = false;
-  InjectionGovernor gov(cfg, nullptr, 1);
+  auto gov_p = flowcontrol::make_governor(cfg, nullptr, 1);
+  InjectionGovernor& gov = *gov_p;
   for (int i = 0; i < 32; ++i) {
     EXPECT_TRUE(gov.try_acquire(0, 0, 128, i));
   }
@@ -204,7 +206,8 @@ TEST(FlowGovernor, CoolCompletionsGrowWindowAdditively) {
   FlowConfig cfg;
   cfg.window_start = 2;
   cfg.window_max = 8;
-  InjectionGovernor gov(cfg, nullptr, 1);  // no estimator: always cool
+  auto gov_p = flowcontrol::make_governor(cfg, nullptr, 1);  // no estimator
+  InjectionGovernor& gov = *gov_p;  // (null estimator: always cool)
   // cwnd += increase/cwnd per completion: one window's worth of
   // completions adds ~1 to the window (classic AIMD congestion
   // avoidance), so it takes a while — but it must reach the cap.
@@ -224,7 +227,8 @@ TEST(FlowGovernor, HotCompletionsShrinkWindowMultiplicativelyToFloor) {
     est.on_link_reserve(0, 0, 3000, 1000, i * 1000);  // node 0 hot
   }
   ASSERT_TRUE(est.node_hot(0));
-  InjectionGovernor gov(cfg, &est, 1);
+  auto gov_p = flowcontrol::make_governor(cfg, &est, 1);
+  InjectionGovernor& gov = *gov_p;
   gov.note_post(0);
   gov.on_complete(0, 0, 0);
   EXPECT_EQ(gov.window(0), 16u);  // 32 * 0.5
@@ -244,7 +248,8 @@ TEST(FlowGovernor, ThresholdsAdaptOnlyWhileHot) {
   }
   ASSERT_GE(est.node_load(0), 2 * cfg.hot_threshold);
   ASSERT_FALSE(est.node_hot(1));
-  InjectionGovernor gov(cfg, &est, 1);
+  auto gov_p = flowcontrol::make_governor(cfg, &est, 1);
+  InjectionGovernor& gov = *gov_p;
   // Cool destination: the configured constants pass through untouched.
   EXPECT_EQ(gov.eager_cap(1024, 1), 1024u);
   EXPECT_EQ(gov.rdma_threshold(16384, 1), 16384u);
@@ -257,7 +262,8 @@ TEST(FlowGovernor, ThresholdsAdaptOnlyWhileHot) {
   // Adaptation is a knob.
   FlowConfig fixed = cfg;
   fixed.adapt_thresholds = false;
-  InjectionGovernor gov2(fixed, &est, 1);
+  auto gov2_p = flowcontrol::make_governor(fixed, &est, 1);
+  InjectionGovernor& gov2 = *gov2_p;
   EXPECT_EQ(gov2.eager_cap(1024, 0), 1024u);
   EXPECT_EQ(gov2.rdma_threshold(16384, 0), 16384u);
 }
